@@ -1,0 +1,221 @@
+// Command experiment regenerates the paper's figures (and this
+// repository's ablation studies) as gnuplot-ready TSV on stdout or into
+// files.
+//
+// Usage:
+//
+//	experiment -fig 3 -n 1000 -trials 100 > fig3_n1000.tsv
+//	experiment -fig 2 -trials 20
+//	experiment -fig headline
+//	experiment -fig designs|decoders|partial|noise|info|finite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pooleddata/internal/experiments"
+	"pooleddata/internal/plot"
+	"pooleddata/internal/query"
+	"pooleddata/internal/thresholds"
+)
+
+// plotFlag is set by -plot to render an ASCII chart on stderr alongside
+// the TSV.
+var plotFlag *bool
+
+func main() {
+	fig := flag.String("fig", "3", "experiment: 2|3|4|headline|info|designs|decoders|partial|noise|finite|tradeoff|gt|dense|early")
+	n := flag.Int("n", 1000, "signal length (figures 3, 4, ablations)")
+	trials := flag.Int("trials", 100, "trials per data point")
+	seed := flag.Uint64("seed", 2022, "master seed")
+	points := flag.Int("points", 20, "points on the m grid")
+	maxM := flag.Int("maxm", 0, "largest m on the grid (0: figure default)")
+	thetaList := flag.String("thetas", "0.1,0.2,0.3,0.4", "sparsity exponents")
+	nsList := flag.String("ns", "100,300,1000,3000,10000", "n grid for figure 2 / finite")
+	plotFlag = flag.Bool("plot", false, "also render an ASCII chart to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{Trials: *trials, Seed: *seed}
+	thetas := parseFloats(*thetaList)
+	ns := parseInts(*nsList)
+
+	mMax := *maxM
+	if mMax == 0 {
+		// The paper plots m ≤ n for n=1000 and m ≤ 3000 for n=10000.
+		mMax = *n
+		if *n >= 10000 {
+			mMax = 3 * *n / 10
+		}
+	}
+	grid := experiments.MGrid(mMax, *points)
+
+	start := time.Now()
+	var err error
+	switch *fig {
+	case "2":
+		var series []experiments.Series
+		series, err = experiments.Fig2(ns, thetas, cfg)
+		emit(series, err)
+	case "3":
+		var series []experiments.Series
+		series, err = experiments.Fig3(*n, thetas, grid, cfg)
+		emit(series, err)
+	case "4":
+		var series []experiments.Series
+		series, err = experiments.Fig4(*n, thetas, grid, cfg)
+		emit(series, err)
+	case "headline":
+		var res experiments.HeadlineResult
+		res, err = experiments.Headline(cfg)
+		if err == nil {
+			fmt.Printf("# headline claim (§VI): n=%d theta=0.3 k=%d m=%d\n", res.N, res.K, res.M)
+			fmt.Printf("mean_overlap\t%.4f\ttrials\t%d\n", res.MeanOverlap, res.Trials)
+		}
+	case "info":
+		// Theorem 2 empirically: uniqueness of the consistent signal.
+		nn, kk := 40, 4
+		infoMax := *maxM
+		if infoMax == 0 {
+			infoMax = 80
+		}
+		ms := experiments.MGrid(infoMax, *points)
+		var s experiments.Series
+		s, err = experiments.InfoTheoretic(nn, kk, ms, cfg)
+		emit([]experiments.Series{s}, err)
+	case "designs":
+		k := thresholds.KFromTheta(*n, 0.3)
+		var series []experiments.Series
+		series, err = experiments.CompareDesigns(*n, k, grid, cfg)
+		emit(series, err)
+	case "decoders":
+		k := thresholds.KFromTheta(*n, 0.3)
+		var series []experiments.Series
+		series, err = experiments.CompareDecoders(*n, k, grid, cfg)
+		emit(series, err)
+	case "partial":
+		k := thresholds.KFromTheta(*n, 0.3)
+		m := int(thresholds.MNFiniteSize(*n, k)) + 1
+		var pts []experiments.PartialParallelPoint
+		pts, err = experiments.PartialParallel(*n, k, m, []int{1, 2, 4, 8, 16, 32, 64, 0}, query.ConstantLatency{D: time.Second}, cfg)
+		if err == nil {
+			fmt.Printf("# partially parallel execution, n=%d k=%d m=%d\n", *n, k, m)
+			fmt.Println("# L\trounds\tmakespan_s\tspeedup\tefficiency")
+			for _, p := range pts {
+				fmt.Printf("%d\t%d\t%.0f\t%.2f\t%.3f\n", p.Units, p.Rounds, p.Makespan.Seconds(), p.Speedup, p.Efficiency)
+			}
+		}
+	case "noise":
+		k := thresholds.KFromTheta(*n, 0.3)
+		m := int(1.5*thresholds.MN(*n, k)) + 1
+		var s experiments.Series
+		s, err = experiments.NoiseRobustness(*n, k, m, parseFloats("0,0.5,1,2,4,8"), cfg)
+		emit([]experiments.Series{s}, err)
+	case "tradeoff":
+		k := thresholds.KFromTheta(*n, 0.3)
+		var rows []experiments.TradeoffRow
+		rows, err = experiments.AdaptiveVsParallel(*n, k, cfg)
+		if err == nil {
+			fmt.Printf("# sequential vs parallel, n=%d k=%d\n", *n, k)
+			fmt.Println("# strategy\tqueries\trounds\tsuccess")
+			for _, r := range rows {
+				fmt.Printf("%s\t%.1f\t%.1f\t%.2f\n", r.Strategy, r.Queries, r.Rounds, r.Success)
+			}
+		}
+	case "gt":
+		k := thresholds.KFromTheta(*n, 0.3)
+		var series []experiments.Series
+		series, err = experiments.ThresholdGT(*n, k, 1, grid, cfg)
+		emit(series, err)
+	case "finite":
+		var series []experiments.Series
+		series, err = experiments.FiniteSizeCheck(ns, 0.3, cfg)
+		emit(series, err)
+	case "early":
+		k := thresholds.KFromTheta(*n, 0.3)
+		var row experiments.EarlyStoppingRow
+		row, err = experiments.EarlyStopping(*n, k, 20, cfg)
+		if err == nil {
+			fmt.Printf("# early stopping with L=20 rounds, n=%d k=%d\n", *n, k)
+			fmt.Printf("budget\t%d\nmean_used\t%.1f\nsuccess\t%.2f\n", row.Budget, row.MeanUsed, row.Success)
+		}
+	case "dense":
+		k := *n / 4
+		var series []experiments.Series
+		series, err = experiments.DenseRegime(*n, k, grid, cfg)
+		emit(series, err)
+	default:
+		fmt.Fprintf(os.Stderr, "experiment: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "# done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emit(series []experiments.Series, err error) {
+	if err != nil {
+		return
+	}
+	if werr := experiments.WriteTSV(os.Stdout, series); werr != nil {
+		fmt.Fprintf(os.Stderr, "experiment: write: %v\n", werr)
+		os.Exit(1)
+	}
+	if plotFlag != nil && *plotFlag {
+		ps := make([]plot.Series, 0, len(series))
+		var vlines []float64
+		for _, s := range series {
+			p := plot.Series{Label: s.Label}
+			for _, pt := range s.Points {
+				p.X = append(p.X, pt.X)
+				p.Y = append(p.Y, pt.Mean)
+				if pt.HasTheor {
+					vlines = appendUnique(vlines, pt.Theory)
+				}
+			}
+			ps = append(ps, p)
+		}
+		fmt.Fprint(os.Stderr, plot.Render(ps, plot.Config{VLines: vlines, XLabel: "x", YLabel: "mean"}))
+	}
+}
+
+func appendUnique(xs []float64, v float64) []float64 {
+	for _, x := range xs {
+		if x == v {
+			return xs
+		}
+	}
+	return append(xs, v)
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: bad float %q\n", tok)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment: bad int %q\n", tok)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

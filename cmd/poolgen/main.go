@@ -1,0 +1,92 @@
+// Command poolgen drives a file-based measurement campaign: it generates
+// pooling design CSVs for an external lab pipeline, simulates the
+// measurement round for testing, and decodes result files.
+//
+// Usage:
+//
+//	poolgen -mode gen -n 10000 -m 600 -seed 1 -design design.csv
+//	poolgen -mode simulate -design design.csv -k 16 -results results.csv
+//	poolgen -mode decode -design design.csv -results results.csv -k 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pooled "pooleddata"
+
+	"pooleddata/internal/rng"
+)
+
+func main() {
+	mode := flag.String("mode", "gen", "gen | simulate | decode")
+	n := flag.Int("n", 1000, "signal length (gen)")
+	m := flag.Int("m", 0, "queries (gen; 0: recommended for -k)")
+	k := flag.Int("k", 8, "Hamming weight")
+	seed := flag.Uint64("seed", 1, "seed (gen: design, simulate: signal)")
+	designPath := flag.String("design", "design.csv", "design file path")
+	resultsPath := flag.String("results", "results.csv", "results file path")
+	flag.Parse()
+
+	switch *mode {
+	case "gen":
+		if *m <= 0 {
+			*m = pooled.RecommendedQueries(*n, *k)
+		}
+		scheme, err := pooled.New(*n, *m, pooled.Options{Seed: *seed})
+		check(err)
+		f, err := os.Create(*designPath)
+		check(err)
+		defer f.Close()
+		check(scheme.WriteDesignCSV(f))
+		fmt.Printf("wrote design n=%d m=%d to %s\n", *n, *m, *designPath)
+
+	case "simulate":
+		scheme := loadScheme(*designPath)
+		r := rng.NewRandSeeded(*seed)
+		signal := make([]bool, scheme.N())
+		for _, i := range r.SampleK(scheme.N(), *k) {
+			signal[i] = true
+		}
+		y := scheme.Measure(signal)
+		f, err := os.Create(*resultsPath)
+		check(err)
+		defer f.Close()
+		check(pooled.WriteCountsCSV(f, y))
+		fmt.Printf("simulated %d measurements (k=%d, seed=%d) into %s\n",
+			len(y), *k, *seed, *resultsPath)
+
+	case "decode":
+		scheme := loadScheme(*designPath)
+		rf, err := os.Open(*resultsPath)
+		check(err)
+		defer rf.Close()
+		y, err := pooled.ReadCountsCSV(rf)
+		check(err)
+		support, err := scheme.Reconstruct(y, *k)
+		check(err)
+		fmt.Printf("reconstructed support (%d entries): %v\n", len(support), support)
+		fmt.Printf("consistent with measurements: %v\n", scheme.Consistent(support, y))
+
+	default:
+		fmt.Fprintf(os.Stderr, "poolgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func loadScheme(path string) *pooled.Scheme {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	scheme, err := pooled.LoadDesignCSV(f)
+	check(err)
+	return scheme
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poolgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command thresholds prints the query-count thresholds of the paper for
+// given instance sizes: Theorem 1 (MN-Algorithm), Theorem 2 (information
+// theoretic), and every related-work rate quoted in §I.
+//
+// Usage:
+//
+//	thresholds -n 10000 -thetas 0.1,0.2,0.3,0.4
+//	thresholds -n 10000 -k 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"pooleddata/internal/thresholds"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "signal length")
+	k := flag.Int("k", 0, "Hamming weight (overrides -thetas when set)")
+	thetaList := flag.String("thetas", "0.1,0.2,0.3,0.4", "comma-separated sparsity exponents")
+	flag.Parse()
+
+	var ks []int
+	if *k > 0 {
+		ks = []int{*k}
+	} else {
+		for _, tok := range strings.Split(*thetaList, ",") {
+			th, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "thresholds: bad theta %q: %v\n", tok, err)
+				os.Exit(1)
+			}
+			ks = append(ks, thresholds.KFromTheta(*n, th))
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "k\ttheta\tm_MN\tm_MN(finite)\tm_para\tm_seq\tKarimi1.72\tKarimi1.515\tGT\tBasisPursuit")
+	for _, kk := range ks {
+		fmt.Fprintf(w, "%d\t%.3f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			kk,
+			thresholds.Theta(*n, kk),
+			thresholds.MN(*n, kk),
+			thresholds.MNFiniteSize(*n, kk),
+			thresholds.BPDPara(*n, kk),
+			thresholds.BPDSeq(*n, kk),
+			thresholds.Karimi1(*n, kk),
+			thresholds.Karimi2(*n, kk),
+			thresholds.GT(*n, kk),
+			thresholds.BasisPursuit(*n, kk),
+		)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Epidemiology: the paper's motivating HIV-screening scenario (§I.D).
+//
+// Screening n = 10,000 random probes from a population with UK-like HIV
+// prevalence yields about 16 expected positives — i.e. θ ≈ 0.3. Individual
+// PCR tests would need 10,000 reactions; the pooled design needs a few
+// hundred, all run in one parallel round on the liquid-handling robot.
+//
+// The example also shows the unknown-k device from the paper: one extra
+// pool containing every probe reveals k exactly.
+//
+//	go run ./examples/epidemiology
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	pooled "pooleddata"
+
+	"pooleddata/internal/rng"
+)
+
+func main() {
+	const (
+		n    = 10000
+		seed = 1905
+	)
+
+	// Ground truth: ~16 infected probes (θ ≈ 0.3), unknown to the lab.
+	r := rng.NewRandSeeded(seed)
+	signal := make([]bool, n)
+	infected := r.SampleK(n, 16)
+	for _, i := range infected {
+		signal[i] = true
+	}
+
+	// The lab does not know k. One extra pool over all probes reveals it:
+	// the additive count of the full pool is exactly k.
+	var kRevealed int
+	for _, s := range signal {
+		if s {
+			kRevealed++
+		}
+	}
+	fmt.Printf("population pool count reveals k = %d\n", kRevealed)
+
+	m := pooled.RecommendedQueries(n, kRevealed)
+	fmt.Printf("screening %d probes with %d pooled PCR reactions (%.1fx fewer than individual testing)\n",
+		n, m, float64(n)/float64(m))
+
+	scheme, err := pooled.New(n, m, pooled.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each PCR run takes ~2h; the robot has 96 thermocycler slots.
+	plan := scheme.MeasurementPlan(96, 2*time.Hour)
+	fmt.Printf("robot schedule: %d rounds on %d units, makespan %v (sequential: %v)\n",
+		plan.Rounds, plan.Units, plan.Makespan, plan.SequentialTime)
+
+	y := scheme.Measure(signal)
+	support, err := scheme.Reconstruct(y, kRevealed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hits := 0
+	truth := make(map[int]bool, len(infected))
+	for _, i := range infected {
+		truth[i] = true
+	}
+	for _, i := range support {
+		if truth[i] {
+			hits++
+		}
+	}
+	fmt.Printf("identified %d/%d infected probes", hits, len(infected))
+	if hits == len(infected) && len(support) == len(infected) {
+		fmt.Printf(" — exact reconstruction\n")
+	} else {
+		fmt.Printf(" (overlap %.2f)\n", float64(hits)/float64(len(infected)))
+	}
+
+	// Robustness: repeat with mildly noisy counts and the refined decoder.
+	yNoisy := scheme.MeasureNoisy(signal, 1.0)
+	supportNoisy, err := scheme.ReconstructWith(yNoisy, kRevealed, pooled.MNRefined)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits = 0
+	for _, i := range supportNoisy {
+		if truth[i] {
+			hits++
+		}
+	}
+	fmt.Printf("with noisy counts (sigma=1): identified %d/%d via refined decoding\n", hits, len(infected))
+}

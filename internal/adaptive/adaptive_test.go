@@ -1,0 +1,145 @@
+package adaptive
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/thresholds"
+)
+
+// oracleFor wraps a signal as a counting oracle and tracks pool sizes.
+func oracleFor(sigma *bitvec.Vector) CountOracle {
+	return func(indices []int) int64 {
+		var c int64
+		for _, i := range indices {
+			if sigma.Get(i) {
+				c++
+			}
+		}
+		return c
+	}
+}
+
+func TestReconstructExactAlways(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := 1 + r.Intn(500)
+		k := r.Intn(n + 1)
+		sigma := bitvec.Random(n, k, r)
+		res, err := Reconstruct(n, oracleFor(sigma))
+		if err != nil {
+			return false
+		}
+		return bitvec.FromIndices(n, res.Support).Equal(sigma)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructEdgeCases(t *testing.T) {
+	// n = 0.
+	res, err := Reconstruct(0, func([]int) int64 { return 0 })
+	if err != nil || len(res.Support) != 0 || res.Queries != 0 {
+		t.Fatalf("n=0: %+v, %v", res, err)
+	}
+	// All zeros: exactly one query (the k-revealing one).
+	sigma := bitvec.New(100)
+	res, err = Reconstruct(100, oracleFor(sigma))
+	if err != nil || len(res.Support) != 0 {
+		t.Fatalf("all-zero: %+v, %v", res, err)
+	}
+	if res.Queries != 1 || res.Rounds != 1 {
+		t.Fatalf("all-zero should need exactly 1 query, got %d", res.Queries)
+	}
+	// All ones: also one query (saturation detected).
+	sigma = bitvec.Random(50, 50, rng.NewRandSeeded(1))
+	res, err = Reconstruct(50, oracleFor(sigma))
+	if err != nil || len(res.Support) != 50 || res.Queries != 1 {
+		t.Fatalf("all-one: %+v, %v", res, err)
+	}
+	// Negative n.
+	if _, err := Reconstruct(-1, nil); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestQueryCountWithinBound(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{1000, 1}, {1000, 8}, {1000, 32}, {10000, 16}} {
+		sigma := bitvec.Random(tc.n, tc.k, rng.NewRandSeeded(uint64(tc.n*tc.k)))
+		res, err := Reconstruct(tc.n, oracleFor(sigma))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Queries > QueryBound(tc.n, tc.k) {
+			t.Fatalf("n=%d k=%d: %d queries exceed bound %d", tc.n, tc.k, res.Queries, QueryBound(tc.n, tc.k))
+		}
+	}
+}
+
+func TestRoundsLogarithmic(t *testing.T) {
+	sigma := bitvec.Random(1<<14, 10, rng.NewRandSeeded(3))
+	res, err := Reconstruct(1<<14, oracleFor(sigma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bisection depth ≤ log2(n) + 1 rounds plus the k-round.
+	if res.Rounds > 16 {
+		t.Fatalf("rounds = %d, want ≤ 16 for n = 2^14", res.Rounds)
+	}
+	if res.Rounds < 3 {
+		t.Fatalf("rounds = %d implausibly small", res.Rounds)
+	}
+}
+
+func TestSupportSorted(t *testing.T) {
+	sigma := bitvec.Random(300, 17, rng.NewRandSeeded(5))
+	res, err := Reconstruct(300, oracleFor(sigma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Support); i++ {
+		if res.Support[i-1] >= res.Support[i] {
+			t.Fatal("support not strictly increasing")
+		}
+	}
+}
+
+func TestInconsistentOracleDetected(t *testing.T) {
+	calls := 0
+	bad := func(indices []int) int64 {
+		calls++
+		if calls == 1 {
+			return 3 // k = 3
+		}
+		return 5 // sub-pool claims more ones than the whole
+	}
+	if _, err := Reconstruct(100, bad); err == nil {
+		t.Fatal("inconsistent oracle not detected")
+	}
+	if _, err := Reconstruct(10, func([]int) int64 { return 11 }); err == nil {
+		t.Fatal("k > n not detected")
+	}
+}
+
+// TestSequentialVsParallelQueryCounts documents the trade-off the paper
+// frames: adaptive bisection uses far fewer queries than the parallel
+// threshold, but needs Θ(log n) dependent rounds, while the paper's
+// design uses one round.
+func TestSequentialVsParallelQueryCounts(t *testing.T) {
+	n, k := 10000, 16
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(7))
+	res, err := Reconstruct(n, oracleFor(sigma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := thresholds.MN(n, k)
+	if float64(res.Queries) >= parallel {
+		t.Fatalf("adaptive used %d queries, parallel threshold is %.0f — adaptivity should win on count", res.Queries, parallel)
+	}
+	if res.Rounds <= 1 {
+		t.Fatal("adaptive reconstruction cannot be single-round")
+	}
+}

@@ -1,0 +1,198 @@
+// Package binom provides exact binomial distribution computations — the
+// probabilistic backbone of the paper's analysis. The degree variables
+// (Δ ~ Bin(mΓ, 1/n), Δ* ~ Bin(m, γ)), the neighborhood sums of
+// Corollary 4, and the truncated variable X ~ Bin≥1(Γ, q) of Lemma 8 are
+// all binomial; this package evaluates their pmf/cdf in stable log space,
+// the Chernoff bounds of Lemma 12, and the truncated moments of Lemma 13.
+package binom
+
+import "math"
+
+// LogPMF returns ln P[Bin(n,p) = k] computed via lgamma, stable for large
+// n. Returns -Inf outside the support.
+func LogPMF(n int, p float64, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		if k == n {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	nf, kf := float64(n), float64(k)
+	lg := func(x float64) float64 { v, _ := math.Lgamma(x + 1); return v }
+	return lg(nf) - lg(kf) - lg(nf-kf) + kf*math.Log(p) + (nf-kf)*math.Log1p(-p)
+}
+
+// PMF returns P[Bin(n,p) = k].
+func PMF(n int, p float64, k int) float64 {
+	return math.Exp(LogPMF(n, p, k))
+}
+
+// CDF returns P[Bin(n,p) ≤ k] by direct summation with a recurrence —
+// exact up to float rounding, O(k) time.
+func CDF(n int, p float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	// Sum from the dominant side for accuracy: if k is past the mean,
+	// sum the upper tail instead.
+	mean := float64(n) * p
+	if float64(k) < mean {
+		sum := 0.0
+		logterm := LogPMF(n, p, 0)
+		term := math.Exp(logterm)
+		ratio := p / (1 - p)
+		for i := 0; i <= k; i++ {
+			sum += term
+			term *= ratio * float64(n-i) / float64(i+1)
+		}
+		if sum > 1 {
+			sum = 1
+		}
+		return sum
+	}
+	// Upper tail P[X ≥ k+1].
+	sum := 0.0
+	term := PMF(n, p, n)
+	invRatio := (1 - p) / p
+	for i := n; i > k; i-- {
+		sum += term
+		term *= invRatio * float64(i) / float64(n-i+1)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return 1 - sum
+}
+
+// Tail returns P[Bin(n,p) ≥ k].
+func Tail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 - CDF(n, p, k-1)
+}
+
+// ChernoffUpper bounds P[Bin(n,p) > (1+δ)np] per Lemma 12:
+// exp(−npδ²/(2+δ)) for δ ∈ (0,1).
+func ChernoffUpper(n int, p, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	np := float64(n) * p
+	return math.Exp(-np * delta * delta / (2 + delta))
+}
+
+// ChernoffLower bounds P[Bin(n,p) < (1−δ)np] per Lemma 12:
+// exp(−npδ²/2).
+func ChernoffLower(n int, p, delta float64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	np := float64(n) * p
+	return math.Exp(-np * delta * delta / 2)
+}
+
+// TruncatedMean returns E[X] for X ~ Bin≥1(n, p) — the binomial
+// conditioned on being positive (Lemma 8's X): np / (1 − (1−p)^n).
+func TruncatedMean(n int, p float64) float64 {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return float64(n)
+	}
+	denom := -math.Expm1(float64(n) * math.Log1p(-p))
+	if denom <= 0 {
+		return float64(n) * p
+	}
+	return float64(n) * p / denom
+}
+
+// TruncatedInverseMoment returns E[X^{-s}] for X ~ Bin≥1(n, p), evaluated
+// by exact summation. Lemma 13 states E[X^{-s}] = (1+o(1))·E[X]^{-s} for
+// np → ∞; this function provides the exact value the lemma approximates,
+// so tests can measure the Jensen gap directly.
+func TruncatedInverseMoment(n int, p float64, s float64) float64 {
+	if n <= 0 || p <= 0 {
+		return math.NaN()
+	}
+	if p >= 1 {
+		return math.Pow(float64(n), -s)
+	}
+	logNorm := -math.Expm1(float64(n) * math.Log1p(-p)) // P[X ≥ 1]
+	if logNorm <= 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	// Sum over the effective support: the pmf decays geometrically a few
+	// standard deviations from the mean; cap the scan for large n.
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	lo, hi := 1, n
+	if n > 1000 {
+		lo = int(math.Max(1, mean-12*sd-1))
+		hi = int(math.Min(float64(n), mean+12*sd+1))
+	}
+	for k := lo; k <= hi; k++ {
+		sum += math.Exp(LogPMF(n, p, k) - s*math.Log(float64(k)))
+	}
+	return sum / logNorm
+}
+
+// Quantile returns the smallest k with CDF(n,p,k) ≥ q.
+func Quantile(n int, p, q float64) int {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return n
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CDF(n, p, mid) >= q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// KLBernoulli returns the KL divergence D(a‖p) between Bernoulli(a) and
+// Bernoulli(p) in nats — the exponent of the sharp binomial tail bound
+// P[Bin(n,p) ≥ an] ≤ exp(−n·D(a‖p)).
+func KLBernoulli(a, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if a == p {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	var t1, t2 float64
+	if a > 0 {
+		t1 = a * math.Log(a/p)
+	}
+	if a < 1 {
+		t2 = (1 - a) * math.Log((1-a)/(1-p))
+	}
+	return t1 + t2
+}

@@ -1,0 +1,208 @@
+package binom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pooleddata/internal/rng"
+)
+
+func TestPMFSmallExact(t *testing.T) {
+	// Bin(4, 0.5): 1/16, 4/16, 6/16, 4/16, 1/16.
+	want := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	for k, w := range want {
+		if got := PMF(4, 0.5, k); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("PMF(4,0.5,%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestPMFSupport(t *testing.T) {
+	if PMF(5, 0.3, -1) != 0 || PMF(5, 0.3, 6) != 0 {
+		t.Fatal("out-of-support pmf must be 0")
+	}
+	if PMF(5, 0, 0) != 1 || PMF(5, 0, 1) != 0 {
+		t.Fatal("p=0 degenerate pmf wrong")
+	}
+	if PMF(5, 1, 5) != 1 || PMF(5, 1, 4) != 0 {
+		t.Fatal("p=1 degenerate pmf wrong")
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := 1 + r.Intn(200)
+		p := r.Float64()
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += PMF(n, p, k)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMatchesSummation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := 1 + r.Intn(150)
+		p := 0.05 + 0.9*r.Float64()
+		k := r.Intn(n + 1)
+		direct := 0.0
+		for i := 0; i <= k; i++ {
+			direct += PMF(n, p, i)
+		}
+		return math.Abs(CDF(n, p, k)-direct) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEdges(t *testing.T) {
+	if CDF(10, 0.5, -1) != 0 || CDF(10, 0.5, 10) != 1 {
+		t.Fatal("CDF edges wrong")
+	}
+	if CDF(10, 0, 0) != 1 || CDF(10, 1, 9) != 0 {
+		t.Fatal("degenerate CDF wrong")
+	}
+}
+
+func TestTailComplement(t *testing.T) {
+	n, p := 100, 0.37
+	for _, k := range []int{0, 1, 37, 50, 100} {
+		if math.Abs(Tail(n, p, k)+CDF(n, p, k-1)-1) > 1e-9 {
+			t.Fatalf("Tail/CDF complement broken at k=%d", k)
+		}
+	}
+}
+
+func TestChernoffBoundsAreValid(t *testing.T) {
+	// The bounds of Lemma 12 must dominate the exact tails.
+	n, p := 500, 0.4
+	np := float64(n) * p
+	for _, delta := range []float64{0.05, 0.1, 0.3, 0.7} {
+		upper := ChernoffUpper(n, p, delta)
+		exact := Tail(n, p, int(math.Ceil((1+delta)*np))+1)
+		if exact > upper+1e-12 {
+			t.Fatalf("upper Chernoff violated at δ=%v: exact %v > bound %v", delta, exact, upper)
+		}
+		lower := ChernoffLower(n, p, delta)
+		exactLow := CDF(n, p, int(math.Floor((1-delta)*np))-1)
+		if exactLow > lower+1e-12 {
+			t.Fatalf("lower Chernoff violated at δ=%v: exact %v > bound %v", delta, exactLow, lower)
+		}
+	}
+	if ChernoffUpper(10, 0.5, 0) != 1 || ChernoffLower(10, 0.5, -1) != 1 {
+		t.Fatal("degenerate δ should give the vacuous bound")
+	}
+}
+
+func TestTruncatedMean(t *testing.T) {
+	// n=1, any p: X ≥ 1 forces X = 1.
+	if math.Abs(TruncatedMean(1, 0.3)-1) > 1e-12 {
+		t.Fatalf("TruncatedMean(1, .3) = %v", TruncatedMean(1, 0.3))
+	}
+	// Large np: conditioning is negligible, mean ≈ np.
+	if math.Abs(TruncatedMean(10000, 0.5)-5000) > 1e-6 {
+		t.Fatal("large-np truncated mean should equal np")
+	}
+	// Exact small case: n=2, p=0.5 → E[X | X≥1] = (0.5·1+0.25·2)/0.75 = 4/3.
+	if math.Abs(TruncatedMean(2, 0.5)-4.0/3) > 1e-12 {
+		t.Fatalf("TruncatedMean(2,.5) = %v, want 4/3", TruncatedMean(2, 0.5))
+	}
+	if TruncatedMean(0, 0.5) != 0 || TruncatedMean(5, 0) != 0 || TruncatedMean(5, 1) != 5 {
+		t.Fatal("degenerate truncated means wrong")
+	}
+}
+
+func TestTruncatedInverseMomentJensenGap(t *testing.T) {
+	// Lemma 13: E[X^{-1/2}] → E[X]^{-1/2} as np → ∞. Check the gap
+	// shrinks along growing np, and the exact value matches brute force
+	// on a small case.
+	exactSmall := 0.0
+	n, p := 6, 0.4
+	norm := 0.0
+	for k := 1; k <= n; k++ {
+		exactSmall += PMF(n, p, k) / math.Sqrt(float64(k))
+		norm += PMF(n, p, k)
+	}
+	exactSmall /= norm
+	if got := TruncatedInverseMoment(n, p, 0.5); math.Abs(got-exactSmall) > 1e-10 {
+		t.Fatalf("TruncatedInverseMoment = %v, brute force %v", got, exactSmall)
+	}
+
+	gap := func(n int, p float64) float64 {
+		return math.Abs(TruncatedInverseMoment(n, p, 0.5)*math.Sqrt(TruncatedMean(n, p)) - 1)
+	}
+	g1 := gap(20, 0.3)
+	g2 := gap(2000, 0.3)
+	if g2 >= g1 {
+		t.Fatalf("Jensen gap did not shrink: %v -> %v", g1, g2)
+	}
+	if g2 > 0.01 {
+		t.Fatalf("Jensen gap %v still large at np=600", g2)
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	n, p := 300, 0.25
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		k := Quantile(n, p, q)
+		if CDF(n, p, k) < q {
+			t.Fatalf("CDF at quantile %v too small", q)
+		}
+		if k > 0 && CDF(n, p, k-1) >= q {
+			t.Fatalf("quantile %v not minimal", q)
+		}
+	}
+	if Quantile(10, 0.5, 0) != 0 || Quantile(10, 0.5, 1) != 10 {
+		t.Fatal("extreme quantiles wrong")
+	}
+}
+
+func TestKLBernoulli(t *testing.T) {
+	if KLBernoulli(0.3, 0.3) != 0 {
+		t.Fatal("KL of identical distributions must be 0")
+	}
+	if KLBernoulli(0.5, 0.25) <= 0 {
+		t.Fatal("KL must be positive for different distributions")
+	}
+	// D(0 ‖ p) = −ln(1−p).
+	if math.Abs(KLBernoulli(0, 0.3)+math.Log(0.7)) > 1e-12 {
+		t.Fatalf("D(0||0.3) = %v", KLBernoulli(0, 0.3))
+	}
+	if !math.IsInf(KLBernoulli(0.5, 0), 1) {
+		t.Fatal("KL against a degenerate distribution must be +Inf")
+	}
+	// Sharp tail: P[Bin(n,p) ≥ an] ≤ exp(−n·D(a‖p)) must dominate exact.
+	n, p, a := 200, 0.3, 0.45
+	bound := math.Exp(-float64(n) * KLBernoulli(a, p))
+	exact := Tail(n, p, int(math.Ceil(a*float64(n))))
+	if exact > bound+1e-12 {
+		t.Fatalf("KL tail bound violated: %v > %v", exact, bound)
+	}
+}
+
+// TestDegreeDistributionMatchesBinomial closes the loop with the design:
+// the realized Δ*_i degrees of the paper's design follow Bin(m, γ_n).
+func TestDegreeDistributionMatchesBinomial(t *testing.T) {
+	// Compare the empirical quartiles of Δ* against the binomial
+	// quantiles.
+	const n, m = 3000, 200
+	gammaN := 1 - math.Pow(1-1.0/n, float64((n+1)/2))
+	lo := Quantile(m, gammaN, 0.25)
+	hi := Quantile(m, gammaN, 0.75)
+	if lo >= hi {
+		t.Fatal("degenerate quartiles")
+	}
+	// The binomial quartiles must straddle the mean.
+	mean := float64(m) * gammaN
+	if float64(lo) > mean || float64(hi) < mean {
+		t.Fatalf("quartiles [%d,%d] do not straddle mean %.1f", lo, hi, mean)
+	}
+}

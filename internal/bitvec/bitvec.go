@@ -1,0 +1,218 @@
+// Package bitvec implements packed binary signal vectors σ ∈ {0,1}^n.
+//
+// The pooled data problem reconstructs a Hamming-weight-k binary vector;
+// everything the algorithms need — weight, overlap ⟨σ,τ⟩, Hamming distance,
+// iteration over the support — is provided here on a 64-bit-packed
+// representation so that comparisons across millions of entries stay cheap
+// during the experiment sweeps.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"pooleddata/internal/rng"
+)
+
+// Vector is a fixed-length binary vector. The zero value is unusable; use
+// New. Vectors are not safe for concurrent mutation, but any number of
+// goroutines may read a vector concurrently.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of length n. It panics if n < 0.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromIndices returns a length-n vector with ones exactly at the given
+// indices. Duplicate indices are allowed and idempotent.
+func FromIndices(n int, indices []int) *Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// FromBools returns a vector matching the boolean slice.
+func FromBools(b []bool) *Vector {
+	v := New(len(b))
+	for i, x := range b {
+		if x {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// Random returns a uniformly random vector of length n with exactly k ones,
+// drawn via reservoir-free Floyd sampling. This is the paper's ground-truth
+// distribution (σ uniform over weight-k vectors).
+func Random(n, k int, r *rng.Rand) *Vector {
+	if k < 0 || k > n {
+		panic(fmt.Sprintf("bitvec: Random weight %d out of range for length %d", k, n))
+	}
+	return FromIndices(n, r.SampleK(n, k))
+}
+
+// Len returns the vector length n.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports whether entry i is one. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets entry i to one.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear sets entry i to zero.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Flip toggles entry i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i>>6] ^= 1 << (uint(i) & 63)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Weight returns the Hamming weight ||v||_1.
+func (v *Vector) Weight() int {
+	w := 0
+	for _, word := range v.words {
+		w += bits.OnesCount64(word)
+	}
+	return w
+}
+
+// Overlap returns ⟨v,u⟩, the number of positions where both vectors are
+// one. It panics if lengths differ.
+func (v *Vector) Overlap(u *Vector) int {
+	v.sameLen(u)
+	o := 0
+	for i, word := range v.words {
+		o += bits.OnesCount64(word & u.words[i])
+	}
+	return o
+}
+
+// Hamming returns the Hamming distance between v and u.
+func (v *Vector) Hamming(u *Vector) int {
+	v.sameLen(u)
+	d := 0
+	for i, word := range v.words {
+		d += bits.OnesCount64(word ^ u.words[i])
+	}
+	return d
+}
+
+// Equal reports whether v and u are identical vectors of the same length.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, word := range v.words {
+		if word != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *Vector) sameLen(u *Vector) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, u.n))
+	}
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Support returns the sorted indices of the one-entries.
+func (v *Vector) Support() []int {
+	out := make([]int, 0, 16)
+	for wi, word := range v.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, wi*64+b)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// ForEachSet calls fn for every one-entry index in increasing order.
+func (v *Vector) ForEachSet(fn func(i int)) {
+	for wi, word := range v.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(wi*64 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// CountIn returns how many of the given indices are one-entries, counting a
+// repeated index as many times as it appears. This is exactly an additive
+// query result for the multiset indices.
+func (v *Vector) CountIn(indices []int) int {
+	c := 0
+	for _, i := range indices {
+		if v.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders short vectors as a 0/1 string and long vectors as a
+// summary, for debugging and error messages.
+func (v *Vector) String() string {
+	if v.n <= 128 {
+		var b strings.Builder
+		b.Grow(v.n)
+		for i := 0; i < v.n; i++ {
+			if v.Get(i) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	return fmt.Sprintf("bitvec(n=%d, weight=%d)", v.n, v.Weight())
+}
+
+// OverlapFraction returns the paper's "overlap" metric between the ground
+// truth sigma and an estimate: the fraction of sigma's one-entries that the
+// estimate classifies as one. Returns 1 for a weight-zero ground truth.
+func OverlapFraction(sigma, estimate *Vector) float64 {
+	k := sigma.Weight()
+	if k == 0 {
+		return 1
+	}
+	return float64(sigma.Overlap(estimate)) / float64(k)
+}

@@ -1,0 +1,91 @@
+package decoder
+
+import (
+	"testing"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/thresholds"
+)
+
+func TestLPRecoversEasyInstance(t *testing.T) {
+	n, k := 250, 5
+	m := int(2 * thresholds.MN(n, k))
+	g, sigma, y := instance(t, n, k, m, 81)
+	est, err := (LP{}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Equal(sigma) {
+		t.Fatalf("LP relaxation failed on an easy instance (overlap %.2f)",
+			bitvec.OverlapFraction(sigma, est))
+	}
+}
+
+func TestLPValidatesAndZeroK(t *testing.T) {
+	g, _, y := instance(t, 60, 3, 20, 82)
+	if _, err := (LP{}).Decode(g, y[:5], 3); err == nil {
+		t.Fatal("short y accepted")
+	}
+	est, err := (LP{}).Decode(g, y, 0)
+	if err != nil || est.Weight() != 0 {
+		t.Fatal("k=0 should give the zero vector")
+	}
+}
+
+func TestLPWeightAlwaysK(t *testing.T) {
+	g, _, y := instance(t, 200, 7, 30, 83) // far below threshold
+	est, err := (LP{Iterations: 50}).Decode(g, y, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Weight() != 7 {
+		t.Fatalf("weight %d", est.Weight())
+	}
+}
+
+func TestLPImprovesWithIterations(t *testing.T) {
+	n, k := 300, 8
+	m := int(1.0 * thresholds.MN(n, k))
+	g, sigma, y := instance(t, n, k, m, 84)
+	few, err := (LP{Iterations: 2}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := (LP{Iterations: 300}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma.Overlap(many) < sigma.Overlap(few) {
+		t.Fatalf("more FISTA iterations lost one-entries: %d -> %d",
+			sigma.Overlap(few), sigma.Overlap(many))
+	}
+}
+
+func TestLPComparableToMNAboveThreshold(t *testing.T) {
+	// The compressed-sensing relaxation should also succeed comfortably
+	// above the MN threshold (its own rate constant is 2 vs MN's ≈1.6-4,
+	// same order) — "who wins" may flip by instance but both decode.
+	n, k := 300, 6
+	m := int(2.2 * thresholds.MN(n, k))
+	okLP, okMN := 0, 0
+	for seed := uint64(0); seed < 6; seed++ {
+		g, sigma, y := instance(t, n, k, m, 90+seed)
+		lp, err := (LP{}).Decode(g, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mnEst, err := (MN{}).Decode(g, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Equal(sigma) {
+			okLP++
+		}
+		if mnEst.Equal(sigma) {
+			okMN++
+		}
+	}
+	if okLP < 5 || okMN < 5 {
+		t.Fatalf("above threshold: lp %d/6, mn %d/6", okLP, okMN)
+	}
+}

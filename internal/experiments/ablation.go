@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/thresholds"
+)
+
+// This file contains the ablation studies DESIGN.md commits to: the design
+// choices of the paper (with-replacement regular design, greedy top-k
+// decoding, fully parallel execution) each swapped out in isolation.
+
+// CompareDesigns sweeps the three pooling designs over the same m grid and
+// returns one overlap series per design. It isolates the effect of the
+// paper's with-replacement design against Bernoulli and constant-column
+// alternatives.
+func CompareDesigns(n, k int, ms []int, cfg Config) ([]Series, error) {
+	designs := []pooling.Design{
+		pooling.RandomRegular{},
+		pooling.Bernoulli{},
+		pooling.ConstantColumn{},
+	}
+	out := make([]Series, 0, len(designs))
+	for di, des := range designs {
+		s := Series{Label: des.Name()}
+		for mi, m := range ms {
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(di)<<40|uint64(mi))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				o, err := RunTrial(n, k, m, rng.DeriveSeed(pointSeed, uint64(t)), des, cfg.decoder())
+				return o.Overlap, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, meanPoint(float64(m), vals))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// CompareDecoders sweeps the decoder zoo over the same m grid on the
+// paper's design and returns one success-rate series per decoder — the
+// "who wins" comparison against the baselines of §I.B.
+func CompareDecoders(n, k int, ms []int, cfg Config, decoders ...decoder.Decoder) ([]Series, error) {
+	if len(decoders) == 0 {
+		decoders = []decoder.Decoder{
+			decoder.MN{},
+			decoder.Greedy{},
+			decoder.BP{},
+			decoder.Refined{},
+			decoder.LP{},
+		}
+	}
+	out := make([]Series, 0, len(decoders))
+	for di, dec := range decoders {
+		s := Series{Label: dec.Name()}
+		for mi, m := range ms {
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(di)<<40|uint64(mi))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				o, err := RunTrial(n, k, m, rng.DeriveSeed(pointSeed, uint64(t)), cfg.design(), dec)
+				if o.Success {
+					return 1, err
+				}
+				return 0, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, ratePoint(float64(m), vals))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PartialParallelPoint is one row of the L-unit trade-off study (§VI open
+// problem): with only L processing units, the m queries take ⌈m/L⌉ rounds.
+type PartialParallelPoint struct {
+	Units    int
+	Rounds   int
+	Makespan time.Duration
+	// Speedup is sequential makespan / this makespan.
+	Speedup float64
+	// Efficiency is Speedup / Units.
+	Efficiency float64
+}
+
+// PartialParallel simulates executing the m queries of one instance on
+// L ∈ units processing units under the given per-query latency and
+// reports the scheduling trade-off. The reconstruction itself is
+// unaffected — only the measurement makespan changes — which is exactly
+// the paper's observation that the design is "completely parallel".
+func PartialParallel(n, k, m int, units []int, lat query.LatencyModel, cfg Config) ([]PartialParallelPoint, error) {
+	g, err := cfg.design().Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(cfg.Seed, 1)})
+	if err != nil {
+		return nil, err
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(cfg.Seed, 2)))
+	seq := query.Execute(g, sigma, query.Options{Units: 1, Latency: lat, Seed: cfg.Seed})
+	out := make([]PartialParallelPoint, 0, len(units))
+	for _, L := range units {
+		res := query.Execute(g, sigma, query.Options{Units: L, Latency: lat, Seed: cfg.Seed})
+		sp := 0.0
+		if res.Makespan > 0 {
+			sp = float64(seq.Makespan) / float64(res.Makespan)
+		}
+		eff := 0.0
+		effUnits := L
+		if effUnits <= 0 || effUnits > m {
+			effUnits = m
+		}
+		if effUnits > 0 {
+			eff = sp / float64(effUnits)
+		}
+		out = append(out, PartialParallelPoint{
+			Units: L, Rounds: res.Rounds, Makespan: res.Makespan,
+			Speedup: sp, Efficiency: eff,
+		})
+	}
+	return out, nil
+}
+
+// NoiseRobustness sweeps the noisy oracle's σ at a fixed operating point
+// and reports the mean overlap — the extension experiment for the
+// measurement-error regime.
+func NoiseRobustness(n, k, m int, sigmas []float64, cfg Config) (Series, error) {
+	s := Series{Label: fmt.Sprintf("noise(n=%d,k=%d,m=%d)", n, k, m)}
+	for si, noise := range sigmas {
+		pointSeed := rng.DeriveSeed(cfg.Seed, uint64(si))
+		oracle := query.Noisy{Sigma: noise}
+		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+			seed := rng.DeriveSeed(pointSeed, uint64(t))
+			g, err := cfg.design().Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+			if err != nil {
+				return 0, err
+			}
+			sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
+			res := query.Execute(g, sigma, query.Options{Oracle: oracle, Seed: rng.DeriveSeed(seed, 3)})
+			est, err := cfg.decoder().Decode(g, res.Y, k)
+			if err != nil {
+				return 0, err
+			}
+			return bitvec.OverlapFraction(sigma, est), nil
+		})
+		if err != nil {
+			return Series{}, err
+		}
+		s.Points = append(s.Points, meanPoint(noise, vals))
+	}
+	return s, nil
+}
+
+// FiniteSizeCheck compares, for a range of n at fixed θ, the measured
+// required m (mean over trials) against both the raw and the
+// finite-size-corrected Theorem 1 thresholds (§V remark). Returned series:
+// measured, asymptotic theory, corrected theory.
+func FiniteSizeCheck(ns []int, theta float64, cfg Config) ([]Series, error) {
+	measured := Series{Label: "measured"}
+	raw := Series{Label: "m_MN"}
+	corrected := Series{Label: "m_MN-corrected"}
+	for ni, n := range ns {
+		k := thresholds.KFromTheta(n, theta)
+		pointSeed := rng.DeriveSeed(cfg.Seed, uint64(ni))
+		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+			m, err := RequiredM(n, k, rng.DeriveSeed(pointSeed, uint64(t)), cfg)
+			return float64(m), err
+		})
+		if err != nil {
+			return nil, err
+		}
+		measured.Points = append(measured.Points, meanPoint(float64(n), vals))
+		raw.Points = append(raw.Points, Point{X: float64(n), Mean: thresholds.MN(n, k), N: 1})
+		corrected.Points = append(corrected.Points, Point{X: float64(n), Mean: thresholds.MNFiniteSize(n, k), N: 1})
+	}
+	return []Series{measured, raw, corrected}, nil
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/thresholds"
+)
+
+// DenseRegime probes the linear regime k = κ·n that the paper's related
+// work (Alaoui et al. 2019, Scarlett–Cevher 2017) covers and the paper's
+// own Theorem 1 deliberately does not: as θ → 1 the MN constant
+// (1+√θ)/(1−√θ) diverges, while message passing still decodes near the
+// counting bound. The sweep returns one exact-recovery series per decoder
+// over m, with the exact (non-asymptotic) parallel counting bound
+// attached as the Theory value.
+func DenseRegime(n, k int, ms []int, cfg Config) ([]Series, error) {
+	decoders := []decoder.Decoder{
+		decoder.MN{},
+		decoder.BP{Iterations: 60},
+		decoder.Refined{},
+	}
+	bound := thresholds.CountingBoundPara(n, k)
+	out := make([]Series, 0, len(decoders))
+	for di, dec := range decoders {
+		s := Series{Label: fmt.Sprintf("dense-%s", dec.Name())}
+		for mi, m := range ms {
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(di)<<52|uint64(mi))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				o, err := RunTrial(n, k, m, rng.DeriveSeed(pointSeed, uint64(t)), cfg.design(), dec)
+				if o.Success {
+					return 1, err
+				}
+				return 0, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := ratePoint(float64(m), vals)
+			p.Theory = bound
+			p.HasTheor = true
+			s.Points = append(s.Points, p)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/thresholds"
+)
+
+// quickCfg keeps the statistical tests fast but meaningful.
+var quickCfg = Config{Trials: 12, Seed: 2022}
+
+func TestRunTrialDeterministic(t *testing.T) {
+	a, err := RunTrial(200, 6, 150, 7, pooling.RandomRegular{}, decoder.MN{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(200, 6, 150, 7, pooling.RandomRegular{}, decoder.MN{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave different outcomes: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunTrialSucceedsAboveThreshold(t *testing.T) {
+	n, k := 400, 7
+	m := int(2 * thresholds.MN(n, k))
+	o, err := RunTrial(n, k, m, 3, pooling.RandomRegular{}, decoder.MN{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Success || o.Overlap != 1 {
+		t.Fatalf("trial failed above threshold: %+v", o)
+	}
+}
+
+func TestMGrid(t *testing.T) {
+	g := MGrid(1000, 10)
+	if len(g) != 10 || g[0] != 100 || g[9] != 1000 {
+		t.Fatalf("MGrid = %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("MGrid not increasing: %v", g)
+		}
+	}
+	// Dedup of tiny grids.
+	g = MGrid(3, 10)
+	for i := 1; i < len(g); i++ {
+		if g[i] == g[i-1] {
+			t.Fatalf("MGrid has duplicates: %v", g)
+		}
+	}
+}
+
+func TestFig3ShapeAndTransition(t *testing.T) {
+	// n=500, θ=0.3: success ≈ 0 far below threshold, ≈ 1 far above.
+	n := 500
+	k := thresholds.KFromTheta(n, 0.3)
+	mThr := thresholds.MN(n, k)
+	ms := []int{int(mThr / 4), int(2.4 * mThr)}
+	series, err := Fig3(n, []float64{0.3}, ms, quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("series shape wrong: %+v", series)
+	}
+	lowP, highP := series[0].Points[0], series[0].Points[1]
+	if lowP.Mean > 0.4 {
+		t.Fatalf("success %.2f far below threshold should be near 0", lowP.Mean)
+	}
+	if highP.Mean < 0.8 {
+		t.Fatalf("success %.2f far above threshold should be near 1", highP.Mean)
+	}
+	if !highP.HasTheor || math.Abs(highP.Theory-mThr) > 1e-9 {
+		t.Fatal("theory annotation missing or wrong")
+	}
+	if lowP.Lo < 0 || highP.Hi > 1 {
+		t.Fatal("Wilson interval out of [0,1]")
+	}
+}
+
+func TestFig4OverlapMonotoneAcrossRegimes(t *testing.T) {
+	n := 500
+	k := thresholds.KFromTheta(n, 0.3)
+	mThr := thresholds.MN(n, k)
+	ms := []int{int(mThr / 6), int(mThr / 2), int(2 * mThr)}
+	series, err := Fig4(n, []float64{0.3}, ms, quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if !(pts[0].Mean < pts[2].Mean) {
+		t.Fatalf("overlap should grow with m: %v", pts)
+	}
+	if pts[2].Mean < 0.99 {
+		t.Fatalf("overlap %.3f at 2× threshold should be ≈ 1", pts[2].Mean)
+	}
+	// Overlap is a fraction.
+	for _, p := range pts {
+		if p.Mean < 0 || p.Mean > 1 {
+			t.Fatalf("overlap %v out of range", p.Mean)
+		}
+	}
+}
+
+func TestFig2RequiredMTracksTheory(t *testing.T) {
+	cfg := Config{Trials: 6, Seed: 5}
+	ns := []int{300, 1000}
+	series, err := Fig2(ns, []float64{0.3}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[0].Points
+	if len(pts) != 2 {
+		t.Fatalf("points: %+v", pts)
+	}
+	// Required m grows with n and stays within a small factor of theory
+	// (the paper notes theory is optimistic for small n).
+	if pts[1].Mean <= pts[0].Mean {
+		t.Fatalf("required m should grow with n: %v then %v", pts[0].Mean, pts[1].Mean)
+	}
+	for _, p := range pts {
+		ratio := p.Mean / p.Theory
+		if ratio < 0.5 || ratio > 3.5 {
+			t.Fatalf("required m %.0f vs theory %.0f: ratio %.2f out of band", p.Mean, p.Theory, ratio)
+		}
+	}
+}
+
+func TestRequiredMDeterministic(t *testing.T) {
+	cfg := Config{Trials: 1, Seed: 11}
+	a, err := RequiredM(300, 5, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RequiredM(300, 5, 42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("RequiredM not deterministic: %d vs %d", a, b)
+	}
+	if a < 10 || a > 10000 {
+		t.Fatalf("RequiredM = %d implausible", a)
+	}
+}
+
+func TestHeadlineClaim(t *testing.T) {
+	// §VI: ≈99% of one-entries found at n=1000, θ=0.3, m=220.
+	res, err := Headline(Config{Trials: 30, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1000 || res.K != 8 || res.M != 220 {
+		t.Fatalf("operating point wrong: %+v", res)
+	}
+	if res.MeanOverlap < 0.95 {
+		t.Fatalf("mean overlap %.3f at the headline point, paper reports ≈0.99", res.MeanOverlap)
+	}
+}
+
+func TestInfoTheoreticUniquenessTransition(t *testing.T) {
+	n, k := 40, 4
+	ms := []int{4, 60}
+	s, err := InfoTheoretic(n, k, ms, Config{Trials: 10, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].Mean >= s.Points[1].Mean {
+		t.Fatalf("uniqueness rate should increase with m: %+v", s.Points)
+	}
+	if s.Points[1].Mean < 0.9 {
+		t.Fatalf("uniqueness %.2f at high m", s.Points[1].Mean)
+	}
+	if s.Points[0].Theory <= 0 {
+		t.Fatal("theory threshold missing")
+	}
+}
+
+func TestCompareDesignsAllDecode(t *testing.T) {
+	n, k := 300, 6
+	m := int(1.6 * thresholds.MN(n, k))
+	series, err := CompareDesigns(n, k, []int{m}, Config{Trials: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("want 3 design series, got %d", len(series))
+	}
+	for _, s := range series {
+		if s.Points[0].Mean < 0.8 {
+			t.Fatalf("design %s overlap %.2f too low at 1.6× threshold", s.Label, s.Points[0].Mean)
+		}
+	}
+}
+
+func TestCompareDecodersShape(t *testing.T) {
+	n, k := 200, 5
+	m := int(1.8 * thresholds.MN(n, k))
+	series, err := CompareDecoders(n, k, []int{m}, Config{Trials: 5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 5 {
+		t.Fatalf("want 5 decoder series, got %d", len(series))
+	}
+	for _, s := range series {
+		if s.Label == "mn" || s.Label == "mn-refined" {
+			if s.Points[0].Mean < 0.8 {
+				t.Fatalf("%s success %.2f too low well above threshold", s.Label, s.Points[0].Mean)
+			}
+		}
+	}
+}
+
+func TestPartialParallelTradeoff(t *testing.T) {
+	pts, err := PartialParallel(300, 6, 64, []int{1, 4, 16, 0}, query.ConstantLatency{D: time.Second}, Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points: %+v", pts)
+	}
+	if pts[0].Rounds != 64 || pts[0].Speedup != 1 {
+		t.Fatalf("L=1 should be sequential: %+v", pts[0])
+	}
+	if pts[1].Rounds != 16 || math.Abs(pts[1].Speedup-4) > 1e-9 {
+		t.Fatalf("L=4 wrong: %+v", pts[1])
+	}
+	if pts[3].Rounds != 1 {
+		t.Fatalf("fully parallel should be one round: %+v", pts[3])
+	}
+	// Efficiency is perfect for constant latencies with L | m.
+	if math.Abs(pts[1].Efficiency-1) > 1e-9 {
+		t.Fatalf("L=4 efficiency %v", pts[1].Efficiency)
+	}
+}
+
+func TestNoiseRobustnessDegradesGracefully(t *testing.T) {
+	n, k := 300, 6
+	m := int(1.5 * thresholds.MN(n, k))
+	s, err := NoiseRobustness(n, k, m, []float64{0, 2}, Config{Trials: 8, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].Mean < 0.95 {
+		t.Fatalf("noiseless overlap %.2f", s.Points[0].Mean)
+	}
+	if s.Points[1].Mean > s.Points[0].Mean {
+		t.Fatal("overlap should not improve with noise")
+	}
+	if s.Points[1].Mean < 0.5 {
+		t.Fatalf("moderate noise should not destroy the decoder: %.2f", s.Points[1].Mean)
+	}
+}
+
+func TestFiniteSizeCheckSeries(t *testing.T) {
+	series, err := FiniteSizeCheck([]int{200, 600}, 0.3, Config{Trials: 4, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("want 3 series, got %d", len(series))
+	}
+	// Corrected theory must dominate the raw asymptotic curve.
+	for i := range series[1].Points {
+		if series[2].Points[i].Mean <= series[1].Points[i].Mean {
+			t.Fatal("corrected threshold should exceed the asymptotic one")
+		}
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	series := []Series{
+		{Label: "a", Points: []Point{{X: 1, Mean: 0.5, N: 10, Theory: 42, HasTheor: true}}},
+		{Label: "b", Points: []Point{{X: 2, Mean: 0.75, N: 10}}},
+	}
+	var sb strings.Builder
+	if err := WriteTSV(&sb, series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# a", "# b", "42", "0.75"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("TSV output missing %q:\n%s", want, out)
+		}
+	}
+	// gnuplot index separation: blank line between blocks.
+	if !strings.Contains(out, "\n\n") {
+		t.Fatal("TSV blocks not separated by a blank line")
+	}
+}
+
+func TestForEachTrialOrderIndependence(t *testing.T) {
+	fn := func(tr int) (float64, error) { return float64(tr * tr), nil }
+	a, err := forEachTrial(50, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := forEachTrial(50, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel trial order differs from sequential")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pooleddata/internal/adaptive"
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/mn"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/stats"
+	"pooleddata/internal/threshgt"
+	"pooleddata/internal/thresholds"
+)
+
+// This file holds the extension experiments beyond the paper's figures:
+// the sequential-vs-parallel trade-off its introduction frames, and the
+// threshold group testing regime of the §VI outlook.
+
+// TradeoffRow is one strategy in the sequential-vs-parallel comparison.
+type TradeoffRow struct {
+	Strategy string
+	// Queries is the mean number of pooled measurements used.
+	Queries float64
+	// Rounds is the mean number of dependent measurement rounds.
+	Rounds float64
+	// Success is the exact-recovery rate.
+	Success float64
+}
+
+// AdaptiveVsParallel quantifies the trade-off of §I: adaptive bisection
+// uses the fewest queries but Θ(log n) rounds; the paper's design uses
+// one round at the Theorem 1 budget; individual testing uses n queries in
+// one round.
+func AdaptiveVsParallel(n, k int, cfg Config) ([]TradeoffRow, error) {
+	trials := cfg.trials()
+
+	var adQ, adR stats.Summary
+	adSucc := 0
+	for t := 0; t < trials; t++ {
+		sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(cfg.Seed, uint64(t))))
+		res, err := adaptive.Reconstruct(n, func(indices []int) int64 {
+			var c int64
+			for _, i := range indices {
+				if sigma.Get(i) {
+					c++
+				}
+			}
+			return c
+		})
+		if err != nil {
+			return nil, err
+		}
+		adQ.Add(float64(res.Queries))
+		adR.Add(float64(res.Rounds))
+		if bitvec.FromIndices(n, res.Support).Equal(sigma) {
+			adSucc++
+		}
+	}
+
+	mPar := int(thresholds.MNFiniteSize(n, k)) + 1
+	parVals, err := forEachTrial(trials, cfg.workers(), func(t int) (float64, error) {
+		o, err := RunTrial(n, k, mPar, rng.DeriveSeed(cfg.Seed^0x1111, uint64(t)), cfg.design(), cfg.decoder())
+		if o.Success {
+			return 1, err
+		}
+		return 0, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	parSucc := 0.0
+	for _, v := range parVals {
+		parSucc += v
+	}
+
+	return []TradeoffRow{
+		{
+			Strategy: "adaptive-bisection",
+			Queries:  adQ.Mean(),
+			Rounds:   adR.Mean(),
+			Success:  float64(adSucc) / float64(trials),
+		},
+		{
+			Strategy: fmt.Sprintf("parallel-mn(m=%d)", mPar),
+			Queries:  float64(mPar),
+			Rounds:   1,
+			Success:  parSucc / float64(trials),
+		},
+		{
+			Strategy: "individual-testing",
+			Queries:  float64(n),
+			Rounds:   1,
+			Success:  1,
+		},
+	}, nil
+}
+
+// gtDecoder is the common shape of the threshold decoders.
+type gtDecoder interface {
+	Name() string
+	Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, error)
+}
+
+// ThresholdGT sweeps the threshold-oracle regime (§VI outlook): exact
+// recovery rate of the threshold decoders over m, with pools sized by
+// threshgt.RecommendedGamma. One series per applicable decoder.
+func ThresholdGT(n, k, T int, ms []int, cfg Config) ([]Series, error) {
+	gamma := threshgt.RecommendedGamma(n, k, T)
+	des := pooling.RandomRegular{Gamma: gamma}
+	decoders := []gtDecoder{threshgt.Scored{}}
+	if T <= 1 {
+		decoders = append(decoders, threshgt.COMP{}, threshgt.DD{})
+	}
+
+	out := make([]Series, 0, len(decoders))
+	for di, dec := range decoders {
+		s := Series{Label: fmt.Sprintf("%s(T=%d,gamma=%d)", dec.Name(), T, gamma)}
+		for mi, m := range ms {
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(di)<<48|uint64(mi))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				seed := rng.DeriveSeed(pointSeed, uint64(t))
+				g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+				if err != nil {
+					return 0, err
+				}
+				sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
+				res := query.Execute(g, sigma, query.Options{
+					Oracle: query.Threshold{T: int64(T)}, Seed: rng.DeriveSeed(seed, 3),
+				})
+				est, err := dec.Decode(g, res.Y, k)
+				if err != nil {
+					return 0, err
+				}
+				if est.Equal(sigma) {
+					return 1, nil
+				}
+				return 0, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, ratePoint(float64(m), vals))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// EarlyStoppingRow summarizes the staged-execution experiment.
+type EarlyStoppingRow struct {
+	// Budget is the full query budget m.
+	Budget int
+	// MeanUsed is the mean number of queries actually consumed before
+	// the incremental decoder's estimate became consistent.
+	MeanUsed float64
+	// Success is the rate at which the stopped estimate equalled σ.
+	Success float64
+}
+
+// EarlyStopping runs the partially-parallel pipeline with the incremental
+// MN decoder: results arrive in rounds of L, and the run stops at the
+// first round whose estimate is consistent with everything answered
+// (after a warm-up of a quarter of the budget). The saving quantifies how
+// much measurement the consistency check can claw back from a w.h.p.
+// budget.
+func EarlyStopping(n, k, L int, cfg Config) (EarlyStoppingRow, error) {
+	m := int(thresholds.MNFiniteSize(n, k))*3/2 + 1
+	vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+		seed := rng.DeriveSeed(cfg.Seed, uint64(t))
+		g, err := cfg.design().Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+		if err != nil {
+			return 0, err
+		}
+		sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
+		res := query.Execute(g, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
+		inc := mn.NewIncremental(g)
+		used := m
+		correct := false
+		for start := 0; start < m; start += L {
+			end := start + L
+			if end > m {
+				end = m
+			}
+			qs := make([]int, 0, L)
+			rs := make([]int64, 0, L)
+			for j := start; j < end; j++ {
+				qs = append(qs, j)
+				rs = append(rs, res.Y[j])
+			}
+			inc.AddBatch(qs, rs)
+			if end < m/4 {
+				continue
+			}
+			est := inc.Estimate(k)
+			if inc.ConsistentSoFar(est, res.Y) {
+				used = end
+				correct = est.Equal(sigma)
+				break
+			}
+		}
+		if used == m {
+			correct = mn.Reconstruct(g, res.Y, k, mn.Options{}).Estimate.Equal(sigma)
+		}
+		// Pack (used, correct) into one float: integer part queries,
+		// fractional flag.
+		v := float64(used)
+		if correct {
+			v += 0.5
+		}
+		return v, nil
+	})
+	if err != nil {
+		return EarlyStoppingRow{}, err
+	}
+	row := EarlyStoppingRow{Budget: m}
+	for _, v := range vals {
+		used := math.Floor(v)
+		row.MeanUsed += used
+		if v-used > 0.25 {
+			row.Success++
+		}
+	}
+	row.MeanUsed /= float64(len(vals))
+	row.Success /= float64(len(vals))
+	return row, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveVsParallelShape(t *testing.T) {
+	rows, err := AdaptiveVsParallel(2000, 8, Config{Trials: 5, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 strategies, got %d", len(rows))
+	}
+	ad, par, ind := rows[0], rows[1], rows[2]
+	if ad.Success != 1 {
+		t.Fatalf("adaptive bisection must always succeed, got %.2f", ad.Success)
+	}
+	if !(ad.Queries < par.Queries && par.Queries < ind.Queries) {
+		t.Fatalf("query ordering broken: %v / %v / %v", ad.Queries, par.Queries, ind.Queries)
+	}
+	if ad.Rounds <= 1 || par.Rounds != 1 || ind.Rounds != 1 {
+		t.Fatalf("round structure wrong: %v / %v / %v", ad.Rounds, par.Rounds, ind.Rounds)
+	}
+	if par.Success < 0.6 {
+		t.Fatalf("parallel MN success %.2f at its own budget", par.Success)
+	}
+	if !strings.Contains(par.Strategy, "parallel-mn") {
+		t.Fatalf("strategy label %q", par.Strategy)
+	}
+}
+
+func TestThresholdGTTransition(t *testing.T) {
+	n, k := 300, 5
+	series, err := ThresholdGT(n, k, 1, []int{30, 250}, Config{Trials: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T=1 yields three decoders: scored, comp, dd.
+	if len(series) != 3 {
+		t.Fatalf("want 3 series at T=1, got %d", len(series))
+	}
+	for _, s := range series {
+		lo, hi := s.Points[0].Mean, s.Points[1].Mean
+		if hi < lo {
+			t.Fatalf("%s: success decreased with m (%.2f -> %.2f)", s.Label, lo, hi)
+		}
+		if hi < 0.7 {
+			t.Fatalf("%s: success %.2f at generous m", s.Label, hi)
+		}
+	}
+}
+
+func TestThresholdGTGeneralT(t *testing.T) {
+	series, err := ThresholdGT(300, 6, 3, []int{600}, Config{Trials: 6, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("want 1 series at T=3, got %d", len(series))
+	}
+	if series[0].Points[0].Mean < 0.5 {
+		t.Fatalf("threshold-mn success %.2f at T=3 with generous m", series[0].Points[0].Mean)
+	}
+	if !strings.Contains(series[0].Label, "T=3") {
+		t.Fatalf("label %q", series[0].Label)
+	}
+}
+
+func TestDenseRegimeBPBeatsMN(t *testing.T) {
+	// k = n/4: the MN threshold constant diverges; BP should decode at
+	// a budget where MN cannot.
+	n, k := 200, 50
+	m := 160
+	series, err := DenseRegime(n, k, []int{m}, Config{Trials: 8, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mnRate, bpRate float64
+	for _, s := range series {
+		switch s.Label {
+		case "dense-mn":
+			mnRate = s.Points[0].Mean
+		case "dense-bp":
+			bpRate = s.Points[0].Mean
+		}
+	}
+	if bpRate < mnRate {
+		t.Fatalf("dense regime: BP (%.2f) should not trail MN (%.2f)", bpRate, mnRate)
+	}
+	if series[0].Points[0].Theory <= 0 {
+		t.Fatal("counting bound annotation missing")
+	}
+}
+
+func TestEarlyStoppingSavesQueries(t *testing.T) {
+	row, err := EarlyStopping(400, 6, 20, Config{Trials: 8, Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MeanUsed >= float64(row.Budget) {
+		t.Fatalf("early stopping saved nothing: used %.1f of %d", row.MeanUsed, row.Budget)
+	}
+	if row.Success < 0.8 {
+		t.Fatalf("early-stopped estimates only %.2f correct", row.Success)
+	}
+	if row.MeanUsed < float64(row.Budget)/4 {
+		t.Fatalf("warm-up floor violated: %.1f", row.MeanUsed)
+	}
+}

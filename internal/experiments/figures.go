@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/stats"
+	"pooleddata/internal/thresholds"
+)
+
+// DefaultThetas are the sparsity exponents of Figures 2–4.
+var DefaultThetas = []float64{0.1, 0.2, 0.3, 0.4}
+
+// MGrid returns an evenly spaced query-count grid [step, 2·step, …, max],
+// matching the x-axes of Figs. 3 and 4 (e.g. step 50/100 up to 1000/3000).
+func MGrid(max, points int) []int {
+	if points < 1 {
+		points = 1
+	}
+	grid := make([]int, 0, points)
+	for i := 1; i <= points; i++ {
+		m := int(math.Round(float64(max) * float64(i) / float64(points)))
+		if m < 1 {
+			m = 1
+		}
+		if len(grid) > 0 && grid[len(grid)-1] == m {
+			continue
+		}
+		grid = append(grid, m)
+	}
+	return grid
+}
+
+// Fig3 reproduces the success-rate phase transition: for each θ, the
+// fraction of exact reconstructions over Config.Trials independent runs,
+// swept over the query counts ms. The Theory field of each point carries
+// the Theorem 1 transition m_MN(n,θ) (the dashed verticals of the figure).
+func Fig3(n int, thetas []float64, ms []int, cfg Config) ([]Series, error) {
+	return sweepM(n, thetas, ms, cfg, func(o TrialOutcome) float64 {
+		if o.Success {
+			return 1
+		}
+		return 0
+	}, ratePoint)
+}
+
+// Fig4 reproduces the overlap curves: the mean fraction of correctly
+// classified one-entries over the same grid as Fig3.
+func Fig4(n int, thetas []float64, ms []int, cfg Config) ([]Series, error) {
+	return sweepM(n, thetas, ms, cfg, func(o TrialOutcome) float64 {
+		return o.Overlap
+	}, meanPoint)
+}
+
+// sweepM is the shared m-sweep of Figs. 3 and 4.
+func sweepM(n int, thetas []float64, ms []int, cfg Config,
+	metric func(TrialOutcome) float64,
+	aggregate func(float64, []float64) Point) ([]Series, error) {
+
+	des, dec := cfg.design(), cfg.decoder()
+	series := make([]Series, 0, len(thetas))
+	for ti, theta := range thetas {
+		k := thresholds.KFromTheta(n, theta)
+		mTheory := thresholds.MN(n, k)
+		s := Series{Label: fmt.Sprintf("theta=%.1f", theta)}
+		for mi, m := range ms {
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(ti)<<32|uint64(mi))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				o, err := RunTrial(n, k, m, rng.DeriveSeed(pointSeed, uint64(t)), des, dec)
+				return metric(o), err
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := aggregate(float64(m), vals)
+			p.Theory = mTheory
+			p.HasTheor = true
+			s.Points = append(s.Points, p)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Fig2 reproduces the required-query scaling: for each n in ns and each θ,
+// the mean over trials of the per-instance minimal m for which the decoder
+// exactly reconstructs σ. Each point's Theory value is the finite-size
+// corrected Theorem 1 threshold (the dotted curves).
+func Fig2(ns []int, thetas []float64, cfg Config) ([]Series, error) {
+	series := make([]Series, 0, len(thetas))
+	for ti, theta := range thetas {
+		s := Series{Label: fmt.Sprintf("theta=%.1f", theta)}
+		for ni, n := range ns {
+			k := thresholds.KFromTheta(n, theta)
+			theory := thresholds.MN(n, k)
+			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(ti)<<32|uint64(ni))
+			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+				m, err := RequiredM(n, k, rng.DeriveSeed(pointSeed, uint64(t)), cfg)
+				return float64(m), err
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := meanPoint(float64(n), vals)
+			p.Theory = theory
+			p.HasTheor = true
+			s.Points = append(s.Points, p)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// RequiredM finds, for a single trial seed, the minimal query count m at
+// which reconstruction succeeds: exponential bracketing from a fraction of
+// the theoretical threshold followed by bisection. Success at a candidate
+// m is decided on a fresh design/signal drawn deterministically from
+// (seed, m); the transition is statistically sharp, which is what the
+// figure measures.
+func RequiredM(n, k int, seed uint64, cfg Config) (int, error) {
+	des, dec := cfg.design(), cfg.decoder()
+	var trialErr error
+	succeeds := func(m int) bool {
+		o, err := RunTrial(n, k, m, rng.DeriveSeed(seed, uint64(m)), des, dec)
+		if err != nil {
+			trialErr = err
+			return true // abort quickly; error reported below
+		}
+		return o.Success
+	}
+	theory := thresholds.MN(n, k)
+	start := int(theory / 4)
+	if start < 1 {
+		start = 1
+	}
+	cap := 64 * n
+	bracket, ok := stats.ExponentialBracket(start, cap, succeeds)
+	if trialErr != nil {
+		return 0, trialErr
+	}
+	if !ok {
+		return cap, fmt.Errorf("experiments: no success up to m=%d for n=%d k=%d", cap, n, k)
+	}
+	lo := bracket/2 + 1
+	if bracket == start {
+		lo = 1
+	}
+	m := stats.MinimalTrue(lo, bracket, succeeds)
+	if trialErr != nil {
+		return 0, trialErr
+	}
+	return m, nil
+}
+
+// HeadlineResult carries the §VI claim check: "on average we correctly
+// identify 99% of the one-entries when conducting only 220 queries for
+// n = 1000 and θ = 0.3".
+type HeadlineResult struct {
+	N, K, M     int
+	MeanOverlap float64
+	Trials      int
+}
+
+// Headline measures the paper's headline operating point.
+func Headline(cfg Config) (HeadlineResult, error) {
+	const n, m = 1000, 220
+	k := thresholds.KFromTheta(n, 0.3) // k = 8
+	vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+		o, err := RunTrial(n, k, m, rng.DeriveSeed(cfg.Seed, uint64(t)), cfg.design(), cfg.decoder())
+		return o.Overlap, err
+	})
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	var s stats.Summary
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return HeadlineResult{N: n, K: k, M: m, MeanOverlap: s.Mean(), Trials: s.N()}, nil
+}
+
+// InfoTheoretic measures Theorem 2 directly: the fraction of instances on
+// which the weight-k signal consistent with (G, y) is *unique*, swept over
+// m. Uses the exhaustive decoder's impostor counter, so n must stay small.
+// Each point's Theory value is m_para = 2k·ln(n/k)/ln k.
+func InfoTheoretic(n, k int, ms []int, cfg Config) (Series, error) {
+	des := cfg.design()
+	theory := thresholds.BPDPara(n, k)
+	s := Series{Label: fmt.Sprintf("unique(n=%d,k=%d)", n, k)}
+	ex := decoder.Exhaustive{}
+	for mi, m := range ms {
+		pointSeed := rng.DeriveSeed(cfg.Seed, uint64(mi))
+		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
+			seed := rng.DeriveSeed(pointSeed, uint64(t))
+			g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+			if err != nil {
+				return 0, err
+			}
+			sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
+			res := query.Execute(g, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
+			_, count, err := ex.CountConsistent(g, res.Y, k, 2)
+			if err != nil {
+				return 0, err
+			}
+			if count == 1 {
+				return 1, nil
+			}
+			return 0, nil
+		})
+		if err != nil {
+			return Series{}, err
+		}
+		p := ratePoint(float64(m), vals)
+		p.Theory = theory
+		p.HasTheor = true
+		s.Points = append(s.Points, p)
+	}
+	return s, nil
+}

@@ -1,0 +1,179 @@
+// Package experiments regenerates the paper's empirical evaluation (§V):
+// every figure is a function returning plot-ready series, parallelized
+// over independent simulation trials.
+//
+// Reproducibility: trial t of a sweep draws every random object from
+// streams derived from (Config.Seed, point, t), so results are identical
+// across runs and worker counts. The paper uses 100 trials per point;
+// Config.Trials scales that down for quick runs.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/stats"
+)
+
+// Config controls a sweep.
+type Config struct {
+	// Trials per data point; 0 means the paper's 100.
+	Trials int
+	// Workers bounds the parallel trial executors; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the master seed; sweeps are deterministic given it.
+	Seed uint64
+	// Decoder used by the sweep; nil means the MN-Algorithm.
+	Decoder decoder.Decoder
+	// Design used by the sweep; nil means the paper's random regular
+	// design.
+	Design pooling.Design
+}
+
+func (c Config) trials() int {
+	if c.Trials <= 0 {
+		return 100
+	}
+	return c.Trials
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) decoder() decoder.Decoder {
+	if c.Decoder == nil {
+		return decoder.MN{}
+	}
+	return c.Decoder
+}
+
+func (c Config) design() pooling.Design {
+	if c.Design == nil {
+		return pooling.RandomRegular{}
+	}
+	return c.Design
+}
+
+// TrialOutcome is the result of one simulated reconstruction.
+type TrialOutcome struct {
+	// Success is exact recovery: estimate == σ.
+	Success bool
+	// Overlap is the fraction of σ's one-entries present in the estimate
+	// (the metric of Fig. 4).
+	Overlap float64
+}
+
+// RunTrial simulates one instance end to end: build the design, draw σ,
+// execute the queries, decode, compare.
+func RunTrial(n, k, m int, seed uint64, des pooling.Design, dec decoder.Decoder) (TrialOutcome, error) {
+	g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+	if err != nil {
+		return TrialOutcome{}, fmt.Errorf("experiments: build design: %w", err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
+	res := query.Execute(g, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
+	est, err := dec.Decode(g, res.Y, k)
+	if err != nil {
+		return TrialOutcome{}, fmt.Errorf("experiments: decode: %w", err)
+	}
+	return TrialOutcome{
+		Success: est.Equal(sigma),
+		Overlap: bitvec.OverlapFraction(sigma, est),
+	}, nil
+}
+
+// Point is one data point of a series.
+type Point struct {
+	X        float64 // sweep coordinate (m, or n)
+	Mean     float64 // mean of the measured quantity over trials
+	Std      float64 // sample standard deviation
+	Lo, Hi   float64 // 95% interval (Wilson for rates, ±1.96·stderr else)
+	N        int     // number of trials
+	Theory   float64 // the matching theoretical curve value, if any
+	HasTheor bool
+}
+
+// Series is a labelled curve, one per θ in the paper's figures.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// forEachTrial runs fn for trials 0..trials-1 on a bounded worker pool and
+// returns the outcomes in trial order (deterministic aggregation).
+func forEachTrial(trials, workers int, fn func(t int) (float64, error)) ([]float64, error) {
+	out := make([]float64, trials)
+	errs := make([]error, trials)
+	if workers > trials {
+		workers = trials
+	}
+	if workers <= 1 {
+		for t := 0; t < trials; t++ {
+			out[t], errs[t] = fn(t)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					out[t], errs[t] = fn(t)
+				}
+			}()
+		}
+		for t := 0; t < trials; t++ {
+			next <- t
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ratePoint aggregates 0/1 outcomes into a success-rate point with a
+// Wilson interval.
+func ratePoint(x float64, vals []float64) Point {
+	succ := 0
+	for _, v := range vals {
+		if v >= 1 {
+			succ++
+		}
+	}
+	lo, hi := stats.Wilson(succ, len(vals), 1.96)
+	mean := 0.0
+	if len(vals) > 0 {
+		mean = float64(succ) / float64(len(vals))
+	}
+	return Point{X: x, Mean: mean, Lo: lo, Hi: hi, N: len(vals)}
+}
+
+// meanPoint aggregates real-valued outcomes into a mean ± 1.96·stderr
+// point.
+func meanPoint(x float64, vals []float64) Point {
+	var s stats.Summary
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return Point{
+		X: x, Mean: s.Mean(), Std: s.Std(),
+		Lo: s.Mean() - 1.96*s.StdErr(), Hi: s.Mean() + 1.96*s.StdErr(),
+		N: s.N(),
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteTSV emits the series as gnuplot-ready tab-separated values: a
+// commented header, then one block per series separated by blank lines
+// (gnuplot's "index" convention, matching the paper's plotting scripts).
+func WriteTSV(w io.Writer, series []Series) error {
+	for si, s := range series {
+		if si > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Label); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, "# x\tmean\tstd\tlo\thi\tn\ttheory"); err != nil {
+			return err
+		}
+		for _, p := range s.Points {
+			theory := ""
+			if p.HasTheor {
+				theory = fmt.Sprintf("%.6g", p.Theory)
+			}
+			if _, err := fmt.Fprintf(w, "%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%d\t%s\n",
+				p.X, p.Mean, p.Std, p.Lo, p.Hi, p.N, theory); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package graph
+
+import "math"
+
+// Gamma is 1 − e^{−1/2}, the limiting probability that a fixed entry
+// appears in a fixed query of the paper's design (each query draws Γ = n/2
+// entries with replacement, so P[x_i ∈ a_j] = 1 − (1 − 1/n)^{n/2} → γ).
+const Gamma = 0.3934693402873666 // 1 - exp(-0.5)
+
+// ConcentrationReport quantifies how closely the realized degree sequence
+// follows the high-probability event R of Lemma 3:
+//
+//	Δ_i  = m/2              + O(√(m ln n))
+//	Δ*_i = (1 − e^{−1/2})·m + O(√(m ln n))
+//
+// MaxDegreeDev and MaxDistinctDev are the largest deviations of Δ_i and
+// Δ*_i from their expectations, in units of √(m ln n). The event R holds
+// "with constant c" when both are at most c.
+type ConcentrationReport struct {
+	ExpectedDegree   float64 // m/2
+	ExpectedDistinct float64 // γ·m (finite-n corrected)
+	MaxDegreeDev     float64
+	MaxDistinctDev   float64
+	Scale            float64 // √(m ln n)
+}
+
+// Concentration computes the report for graph g. For n < 2 the logarithmic
+// scale is clamped so the report stays finite.
+func (g *Bipartite) Concentration() ConcentrationReport {
+	m := float64(g.m)
+	n := float64(g.n)
+	lnn := math.Log(math.Max(n, 2))
+	scale := math.Sqrt(m * lnn)
+	if scale == 0 {
+		scale = 1
+	}
+	// Exact finite-n inclusion probability p = 1 − (1 − 1/n)^Γ with the
+	// design's Γ = n/2 (ceil for odd n, matching the builder).
+	gammaN := Gamma
+	if g.n > 0 {
+		gammaSz := float64((g.n + 1) / 2)
+		gammaN = 1 - math.Pow(1-1/n, gammaSz)
+	}
+	rep := ConcentrationReport{
+		ExpectedDegree:   m / 2,
+		ExpectedDistinct: gammaN * m,
+		Scale:            scale,
+	}
+	for i := 0; i < g.n; i++ {
+		dev := math.Abs(float64(g.Degree(i))-rep.ExpectedDegree) / scale
+		if dev > rep.MaxDegreeDev {
+			rep.MaxDegreeDev = dev
+		}
+		dev = math.Abs(float64(g.DistinctDegree(i))-rep.ExpectedDistinct) / scale
+		if dev > rep.MaxDistinctDev {
+			rep.MaxDistinctDev = dev
+		}
+	}
+	return rep
+}
+
+// HoldsWithin reports whether event R holds with deviation constant c,
+// i.e. every degree is within c·√(m ln n) of its expectation.
+func (r ConcentrationReport) HoldsWithin(c float64) bool {
+	return r.MaxDegreeDev <= c && r.MaxDistinctDev <= c
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConcentrationOnRandomGraph(t *testing.T) {
+	n, m, per := 1000, 100, 500
+	qptr, qent, qmul := buildRandomCSR(n, m, per, 17)
+	// Force unit multiplicities so Δ is comparable to the ⌈n/2⌉-pool
+	// expectation m/2 (SampleK pools half the entries per query).
+	for i := range qmul {
+		qmul[i] = 1
+	}
+	g, err := New(n, qptr, qent, qmul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Concentration()
+	if rep.Scale <= 0 {
+		t.Fatal("scale must be positive")
+	}
+	if math.Abs(rep.ExpectedDegree-float64(m)/2) > 1e-9 {
+		t.Fatalf("expected degree %v, want m/2", rep.ExpectedDegree)
+	}
+	// Without-replacement half-pools concentrate even better than the
+	// design's with-replacement draws: event R holds comfortably, though
+	// the Δ* expectation (tuned to with-replacement γ) is biased here, so
+	// only the Δ side is asserted tightly.
+	if rep.MaxDegreeDev > 3 {
+		t.Fatalf("degree deviation %v too large", rep.MaxDegreeDev)
+	}
+	if !rep.HoldsWithin(rep.MaxDegreeDev + rep.MaxDistinctDev + 1) {
+		t.Fatal("HoldsWithin must accept its own deviations")
+	}
+	if rep.HoldsWithin(math.Min(rep.MaxDegreeDev, rep.MaxDistinctDev) / 2) {
+		t.Fatal("HoldsWithin must reject a constant below the deviations")
+	}
+}
+
+func TestConcentrationEmptyGraph(t *testing.T) {
+	g, err := New(0, []int64{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Concentration()
+	if rep.MaxDegreeDev != 0 || rep.MaxDistinctDev != 0 {
+		t.Fatal("empty graph should have zero deviations")
+	}
+	if !rep.HoldsWithin(0) {
+		t.Fatal("empty graph trivially satisfies event R")
+	}
+}
+
+func TestConcentrationTinyN(t *testing.T) {
+	// n = 1: the log clamp keeps the scale finite.
+	g, err := New(1, []int64{0, 1}, []int32{0}, []int32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := g.Concentration()
+	if math.IsNaN(rep.MaxDegreeDev) || math.IsInf(rep.MaxDegreeDev, 0) {
+		t.Fatalf("tiny-n deviation not finite: %v", rep.MaxDegreeDev)
+	}
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+)
+
+// tiny builds the Fig. 1 example of the paper by hand:
+// σ = (1,1,0,0,1,0,0), five queries. We only need the graph structure
+// here; query results are exercised in the query package.
+func tiny(t *testing.T) *Bipartite {
+	t.Helper()
+	// Query 0: {x0, x1, x2}, query 1: {x1, x3, x4}, query 2: {x0, x1, x4, x4}
+	// (x4 twice: a multi-edge), query 3: {x2, x4}, query 4: {x5, x6, x0, x0}.
+	qptr := []int64{0, 3, 6, 9, 11, 14}
+	qent := []int32{0, 1, 2 /**/, 1, 3, 4 /**/, 0, 1, 4 /**/, 2, 4 /**/, 0, 5, 6}
+	qmul := []int32{1, 1, 1 /**/, 1, 1, 1 /**/, 1, 1, 2 /**/, 1, 1 /**/, 2, 1, 1}
+	g, err := New(7, qptr, qent, qmul)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestNewSizes(t *testing.T) {
+	g := tiny(t)
+	if g.N() != 7 || g.M() != 5 {
+		t.Fatalf("N,M = %d,%d want 7,5", g.N(), g.M())
+	}
+	if g.HalfEdges() != 3+3+4+2+4 {
+		t.Fatalf("HalfEdges = %d", g.HalfEdges())
+	}
+	if g.DistinctPairs() != 14 {
+		t.Fatalf("DistinctPairs = %d", g.DistinctPairs())
+	}
+}
+
+func TestQueryAccessors(t *testing.T) {
+	g := tiny(t)
+	ent, mul := g.QueryEntries(2)
+	if len(ent) != 3 || ent[0] != 0 || ent[1] != 1 || ent[2] != 4 {
+		t.Fatalf("QueryEntries(2) entries = %v", ent)
+	}
+	if mul[2] != 2 {
+		t.Fatalf("QueryEntries(2) mults = %v, want multi-edge on x4", mul)
+	}
+	if g.QuerySize(2) != 4 {
+		t.Fatalf("QuerySize(2) = %d, want 4", g.QuerySize(2))
+	}
+	if g.QueryDistinct(2) != 3 {
+		t.Fatalf("QueryDistinct(2) = %d, want 3", g.QueryDistinct(2))
+	}
+	if g.QuerySize(4) != 4 || g.QueryDistinct(4) != 3 {
+		t.Fatalf("query 4 size/distinct = %d/%d", g.QuerySize(4), g.QueryDistinct(4))
+	}
+}
+
+func TestEntrySideDerivation(t *testing.T) {
+	g := tiny(t)
+	// x0 appears in queries 0, 2 (once each) and 4 (twice).
+	qs, mu := g.EntryQueries(0)
+	if len(qs) != 3 || qs[0] != 0 || qs[1] != 2 || qs[2] != 4 {
+		t.Fatalf("EntryQueries(0) = %v", qs)
+	}
+	if mu[0] != 1 || mu[1] != 1 || mu[2] != 2 {
+		t.Fatalf("EntryQueries(0) mults = %v", mu)
+	}
+	if g.Degree(0) != 4 {
+		t.Fatalf("Degree(0) = %d, want 4", g.Degree(0))
+	}
+	if g.DistinctDegree(0) != 3 {
+		t.Fatalf("DistinctDegree(0) = %d, want 3", g.DistinctDegree(0))
+	}
+	// x4: queries 1 (once), 2 (twice), 3 (once).
+	if g.Degree(4) != 4 || g.DistinctDegree(4) != 3 {
+		t.Fatalf("x4 degrees = %d/%d", g.Degree(4), g.DistinctDegree(4))
+	}
+	// x5, x6 appear only in query 4.
+	if g.Degree(5) != 1 || g.DistinctDegree(6) != 1 {
+		t.Fatal("x5/x6 degrees wrong")
+	}
+}
+
+func TestDegreeIdentities(t *testing.T) {
+	g := tiny(t)
+	var sumDeg, sumSize int64
+	for i := 0; i < g.N(); i++ {
+		sumDeg += int64(g.Degree(i))
+	}
+	for j := 0; j < g.M(); j++ {
+		sumSize += int64(g.QuerySize(j))
+	}
+	if sumDeg != sumSize || sumDeg != g.HalfEdges() {
+		t.Fatalf("half-edge identity broken: Σdeg=%d Σsize=%d half=%d", sumDeg, sumSize, g.HalfEdges())
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := tiny(t)
+	st := g.Stats()
+	if st.MinDegree != 1 || st.MaxDegree != 4 {
+		t.Fatalf("degree range = [%d,%d], want [1,4]", st.MinDegree, st.MaxDegree)
+	}
+	if st.MaxDistinctDegree != 3 { // x0 in queries 0,2,4 (x1 ties)
+		t.Fatalf("MaxDistinctDegree = %d", st.MaxDistinctDegree)
+	}
+	if st.MeanDegree <= 0 || st.MeanDistinctDegree <= 0 {
+		t.Fatal("means must be positive")
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	g, err := New(0, []int64{0}, nil, nil)
+	if err != nil {
+		t.Fatalf("New empty: %v", err)
+	}
+	st := g.Stats()
+	if st.MaxDegree != 0 {
+		t.Fatal("empty graph stats should be zero")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		qptr []int64
+		qent []int32
+		qmul []int32
+	}{
+		{"negative n", -1, []int64{0}, nil, nil},
+		{"empty qptr", 3, nil, nil, nil},
+		{"qptr not starting at 0", 3, []int64{1, 2}, []int32{0}, []int32{1}},
+		{"length mismatch", 3, []int64{0, 2}, []int32{0}, []int32{1}},
+		{"decreasing qptr", 3, []int64{0, 1, 0}, []int32{0}, []int32{1}},
+		{"entry out of range", 3, []int64{0, 1}, []int32{3}, []int32{1}},
+		{"negative entry", 3, []int64{0, 1}, []int32{-1}, []int32{1}},
+		{"not increasing", 3, []int64{0, 2}, []int32{1, 1}, []int32{1, 1}},
+		{"zero multiplicity", 3, []int64{0, 1}, []int32{0}, []int32{0}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.n, tc.qptr, tc.qent, tc.qmul); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestStatsDistinctWeight(t *testing.T) {
+	// x1 is in queries 0, 1, 2 → distinct degree 3; verify against x1's view.
+	g := tiny(t)
+	qs, _ := g.EntryQueries(1)
+	if len(qs) != 3 {
+		t.Fatalf("x1 distinct queries = %d, want 3", len(qs))
+	}
+}

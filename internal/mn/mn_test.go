@@ -1,0 +1,204 @@
+package mn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/thresholds"
+)
+
+// instance builds a design, signal, and exact query results.
+func instance(t testing.TB, n, k, m int, seed uint64) (*graph.Bipartite, *bitvec.Vector, []int64) {
+	t.Helper()
+	g, err := pooling.RandomRegular{}.Build(n, m, pooling.BuildOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(seed^0xdead))
+	res := query.Execute(g, sigma, query.Options{Seed: seed})
+	return g, sigma, res.Y
+}
+
+func TestReconstructExactAtGenerousM(t *testing.T) {
+	// Well above the Theorem 1 threshold the reconstruction must be exact.
+	n, k := 500, 8 // θ ≈ 0.33
+	m := int(2 * thresholds.MN(n, k))
+	g, sigma, y := instance(t, n, k, m, 1)
+	res := Reconstruct(g, y, k, Options{})
+	if !res.Estimate.Equal(sigma) {
+		t.Fatalf("reconstruction failed with m=%d (overlap %.3f)",
+			m, bitvec.OverlapFraction(sigma, res.Estimate))
+	}
+}
+
+func TestReconstructWeightAlwaysK(t *testing.T) {
+	// Even far below threshold the estimate must have exactly k ones.
+	g, _, y := instance(t, 300, 10, 30, 2)
+	res := Reconstruct(g, y, 10, Options{})
+	if w := res.Estimate.Weight(); w != 10 {
+		t.Fatalf("estimate weight %d, want 10", w)
+	}
+}
+
+func TestReconstructZeroK(t *testing.T) {
+	g, sigma, y := instance(t, 100, 0, 20, 3)
+	res := Reconstruct(g, y, 0, Options{})
+	if res.Estimate.Weight() != 0 || !res.Estimate.Equal(sigma) {
+		t.Fatal("k=0 should yield the zero vector")
+	}
+}
+
+func TestReconstructPanicsOnBadInput(t *testing.T) {
+	g, _, y := instance(t, 100, 5, 20, 4)
+	for _, f := range []func(){
+		func() { Reconstruct(g, y[:10], 5, Options{}) },
+		func() { Reconstruct(g, y, -1, Options{}) },
+		func() { Reconstruct(g, y, 101, Options{}) },
+		func() { ReconstructSequential(g, y[:10], 5) },
+		func() { ReconstructSequential(g, y, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := 50 + r.Intn(300)
+		k := 1 + r.Intn(10)
+		m := 10 + r.Intn(150)
+		g, _, y := instance(t, n, k, m, seed)
+		par := Reconstruct(g, y, k, Options{Workers: 4})
+		seq := ReconstructSequential(g, y, k)
+		return par.Estimate.Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepScoresDiagnostics(t *testing.T) {
+	g, sigma, y := instance(t, 200, 6, 300, 5)
+	res := Reconstruct(g, y, 6, Options{KeepScores: true})
+	if len(res.Scores) != 200 || len(res.Psi) != 200 || len(res.DistinctDeg) != 200 {
+		t.Fatal("diagnostics missing")
+	}
+	// Ψ_i must equal the hand-computed neighborhood sum.
+	for _, i := range []int{0, 17, 199} {
+		qs, _ := g.EntryQueries(i)
+		var want int64
+		for _, j := range qs {
+			want += y[j]
+		}
+		if res.Psi[i] != want {
+			t.Fatalf("Ψ_%d = %d, want %d", i, res.Psi[i], want)
+		}
+		if res.DistinctDeg[i] != int64(len(qs)) {
+			t.Fatalf("Δ*_%d = %d, want %d", i, res.DistinctDeg[i], len(qs))
+		}
+		wantScore := float64(want) - float64(len(qs))*3
+		if math.Abs(res.Scores[i]-wantScore) > 1e-9 {
+			t.Fatalf("score_%d = %v, want %v", i, res.Scores[i], wantScore)
+		}
+	}
+	// Scores of true ones should on average exceed scores of zeros.
+	var oneMean, zeroMean float64
+	var ones, zeros int
+	for i := 0; i < 200; i++ {
+		if sigma.Get(i) {
+			oneMean += res.Scores[i]
+			ones++
+		} else {
+			zeroMean += res.Scores[i]
+			zeros++
+		}
+	}
+	if oneMean/float64(ones) <= zeroMean/float64(zeros) {
+		t.Fatal("one-entries do not score higher on average")
+	}
+	// Without KeepScores the diagnostics must be absent.
+	res2 := Reconstruct(g, y, 6, Options{})
+	if res2.Scores != nil || res2.Psi != nil {
+		t.Fatal("diagnostics retained without KeepScores")
+	}
+}
+
+func TestMultiEdgesCountedOnceInPsi(t *testing.T) {
+	// A fixed design where entry 0 has a multi-edge into query 0:
+	// Ψ_0 must include y_0 once, not twice.
+	d := pooling.Fixed{Queries: [][]int{
+		{0, 0, 1}, // entry 0 twice
+		{0, 2},
+	}}
+	g, err := d.Build(3, 2, pooling.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.FromIndices(3, []int{0})
+	res := query.Execute(g, sigma, query.Options{})
+	// y = (2, 1): the multi-edge contributes twice to the *query result*.
+	if res.Y[0] != 2 || res.Y[1] != 1 {
+		t.Fatalf("y = %v, want [2 1]", res.Y)
+	}
+	out := Reconstruct(g, res.Y, 1, Options{KeepScores: true})
+	if out.Psi[0] != 3 { // y0 + y1, each once
+		t.Fatalf("Ψ_0 = %d, want 3 (multi-edge must count once)", out.Psi[0])
+	}
+	if !out.Estimate.Get(0) {
+		t.Fatal("failed to recover the planted one")
+	}
+}
+
+func TestRecoveryRateImprovesWithM(t *testing.T) {
+	// Monotone sanity: success over 20 trials should not degrade when m
+	// doubles from half the threshold to twice the threshold.
+	n, k := 400, 6
+	mLow := int(0.4 * thresholds.MN(n, k))
+	mHigh := int(2.2 * thresholds.MN(n, k))
+	success := func(m int) int {
+		s := 0
+		for seed := uint64(0); seed < 20; seed++ {
+			g, sigma, y := instance(t, n, k, m, seed*7+11)
+			if Reconstruct(g, y, k, Options{}).Estimate.Equal(sigma) {
+				s++
+			}
+		}
+		return s
+	}
+	lo, hi := success(mLow), success(mHigh)
+	if hi < lo {
+		t.Fatalf("success degraded with more queries: %d/20 at m=%d vs %d/20 at m=%d", lo, mLow, hi, mHigh)
+	}
+	if hi < 18 {
+		t.Fatalf("success only %d/20 at 2.2× threshold (m=%d)", hi, mHigh)
+	}
+}
+
+func TestEstimateK(t *testing.T) {
+	sigma := bitvec.Random(1000, 31, rng.NewRandSeeded(8))
+	if EstimateK(sigma) != 31 {
+		t.Fatal("EstimateK must reveal the exact weight")
+	}
+}
+
+func TestReconstructAllOnes(t *testing.T) {
+	// Degenerate k = n: estimate must be the all-ones vector.
+	g, sigma, y := instance(t, 64, 64, 10, 9)
+	res := Reconstruct(g, y, 64, Options{})
+	if !res.Estimate.Equal(sigma) {
+		t.Fatal("k=n reconstruction failed")
+	}
+}

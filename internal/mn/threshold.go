@@ -1,0 +1,76 @@
+package mn
+
+import (
+	"math"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/thresholds"
+)
+
+// This file implements the threshold form of the MN decision rule that the
+// proof of Theorem 1 actually analyzes (Corollary 6): instead of ranking
+// and taking the top k, classify entry x_j as one iff
+//
+//	S_j + Δ_j ≥ E[S_j] + (1−α)·m/2
+//
+// with the optimal α = (d − 4γ)/(2d) from the proof, d = m/(k·ln(n/k)).
+// Unlike the top-k rule the classifier does not force the output weight to
+// be exactly k, which makes it the natural variant when k is only known
+// approximately — and its misclassifications directly expose the score
+// separation the proof establishes.
+
+// ClassifierResult is the output of ReconstructThreshold.
+type ClassifierResult struct {
+	// Estimate is the classified signal; its weight may differ from k.
+	Estimate *bitvec.Vector
+	// Threshold is the score cut T(α) that was applied.
+	Threshold float64
+	// Alpha is the separation parameter used.
+	Alpha float64
+}
+
+// ReconstructThreshold classifies entries by the Corollary 6 threshold
+// rule. k is used only to centralize scores and compute α; the output
+// weight is whatever the classifier decides.
+func ReconstructThreshold(g *graph.Bipartite, y []int64, k int, opts Options) *ClassifierResult {
+	n := g.N()
+	m := g.M()
+	res := Reconstruct(g, y, k, Options{Workers: opts.Workers, KeepScores: true})
+
+	// d = m / (k ln(n/k)); optimal α = (d − 4γ(1+o(1)))/(2d), clamped to
+	// (0, 1). Below the threshold regime (d ≤ 4γ) fall back to α = 1/2.
+	gamma := thresholds.GammaConst
+	alpha := 0.5
+	if k >= 1 && n > k {
+		d := float64(m) / (float64(k) * math.Log(float64(n)/float64(k)))
+		if d > 4*gamma {
+			alpha = (d - 4*gamma) / (2 * d)
+		}
+	}
+	// Score_j = Ψ_j − Δ*_j·k/2 concentrates around two class centers.
+	// The proof works with E[S_j | E_j, R] = (1±δ)·γkm/2 and treats the
+	// one/zero background difference (k vs k−1 out of n−1 candidates per
+	// half-edge, Corollary 4) as a (1+o(1)) factor; at finite n that
+	// difference is a Θ(m) shift of the centers, so the implementation
+	// computes both centers exactly and places the Corollary 6 cut at
+	// (1−α) of the way from the zero center to the one center.
+	nf, kf, mf := float64(n), float64(k), float64(m)
+	gammaSz := float64((n + 1) / 2)        // Γ
+	distinct := gamma * mf                 // E[Δ*]
+	degree := mf * gammaSz / nf            // E[Δ]
+	aBar := degree / math.Max(distinct, 1) // mean multiplicity per distinct query
+	other := gammaSz - aBar                // half-edges to other entries per query
+	denom := math.Max(nf-1, 1)
+	zeroCenter := distinct * (other*kf/denom - kf/2)
+	oneCenter := degree + distinct*(other*(kf-1)/denom-kf/2)
+	cut := zeroCenter + (1-alpha)*(oneCenter-zeroCenter)
+
+	est := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if res.Scores[i] >= cut {
+			est.Set(i)
+		}
+	}
+	return &ClassifierResult{Estimate: est, Threshold: cut, Alpha: alpha}
+}

@@ -1,0 +1,84 @@
+package mn
+
+import (
+	"testing"
+
+	"pooleddata/internal/thresholds"
+)
+
+func TestThresholdClassifierAboveThreshold(t *testing.T) {
+	// Above threshold the classifier must find every one-entry; the
+	// union bound over Θ(n) zeros leaves room for the occasional false
+	// positive at finite n, so those are only bounded on average.
+	n, k := 600, 8
+	m := int(3 * thresholds.MN(n, k))
+	exact, missed, extras := 0, 0, 0
+	for seed := uint64(0); seed < 10; seed++ {
+		g, sigma, y := instance(t, n, k, m, 50+seed)
+		res := ReconstructThreshold(g, y, k, Options{})
+		missed += k - res.Estimate.Overlap(sigma)
+		if res.Estimate.Equal(sigma) {
+			exact++
+		}
+		if extra := res.Estimate.Weight() - k; extra > 0 {
+			extras += extra
+		}
+		if res.Alpha <= 0 || res.Alpha >= 1 {
+			t.Fatalf("alpha %v outside (0,1)", res.Alpha)
+		}
+		if res.Threshold <= 0 {
+			t.Fatalf("cut %v must be positive above threshold", res.Threshold)
+		}
+	}
+	if exact < 5 {
+		t.Fatalf("only %d/10 exact reconstructions at 3x threshold", exact)
+	}
+	if missed > 3 {
+		t.Fatalf("%d missed one-entries over 10 runs", missed)
+	}
+	if extras > 10 {
+		t.Fatalf("%d false positives over 10 runs", extras)
+	}
+}
+
+func TestThresholdClassifierAgreesWithTopK(t *testing.T) {
+	// Far above threshold both decision rules find exactly the same set
+	// (the classifier's union-bound margin needs more headroom than the
+	// top-k rule at finite n, hence the 5x operating point).
+	for seed := uint64(0); seed < 5; seed++ {
+		n, k := 500, 6
+		m := int(5 * thresholds.MN(n, k))
+		g, _, y := instance(t, n, k, m, 60+seed)
+		topk := Reconstruct(g, y, k, Options{}).Estimate
+		thr := ReconstructThreshold(g, y, k, Options{}).Estimate
+		if !topk.Equal(thr) {
+			t.Fatalf("seed %d: classifier and top-k disagree above threshold", seed)
+		}
+	}
+}
+
+func TestThresholdClassifierWeightFreedom(t *testing.T) {
+	// Far below threshold the classifier's weight may drift from k — it
+	// must not be forced to k (that is the point of the variant).
+	n, k := 600, 8
+	deviates := false
+	for seed := uint64(0); seed < 10 && !deviates; seed++ {
+		g, _, y := instance(t, n, k, 40, 70+seed)
+		res := ReconstructThreshold(g, y, k, Options{})
+		if res.Estimate.Weight() != k {
+			deviates = true
+		}
+	}
+	if !deviates {
+		t.Fatal("classifier weight always exactly k even deep below threshold — looks like a hidden top-k")
+	}
+}
+
+func TestThresholdClassifierFallbackAlpha(t *testing.T) {
+	// Tiny m (d ≤ 4γ): α falls back to 1/2 and the call still works.
+	g, _, y := instance(t, 200, 5, 10, 80)
+	res := ReconstructThreshold(g, y, 5, Options{})
+	if res.Alpha != 0.5 {
+		t.Fatalf("alpha %v, want fallback 0.5", res.Alpha)
+	}
+}

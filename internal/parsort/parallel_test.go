@@ -1,0 +1,67 @@
+package parsort
+
+import (
+	"runtime"
+	"testing"
+)
+
+// withProcs runs fn with GOMAXPROCS temporarily raised so the parallel
+// code paths execute even on single-CPU machines (goroutine concurrency
+// does not need real cores for correctness testing).
+func withProcs(t *testing.T, procs int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+func TestSortDescParallelPath(t *testing.T) {
+	for _, procs := range []int{2, 3, 4, 8} {
+		withProcs(t, procs, func() {
+			for _, distinct := range []bool{true, false} {
+				scores := randScores(uint64(procs), 20000, distinct)
+				got := SortDesc(scores)
+				want := refSortDesc(scores)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("procs=%d distinct=%v: parallel sort diverges at %d", procs, distinct, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSortDescParallelOddRunCount(t *testing.T) {
+	// procs=3 rounds down to 2 workers; procs=5 rounds to 4. Sizes just
+	// above the parallel threshold exercise the copy-through branch for
+	// odd run counts.
+	withProcs(t, 5, func() {
+		scores := randScores(7, 4097, true)
+		got := SortDesc(scores)
+		want := refSortDesc(scores)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("diverges at %d", i)
+			}
+		}
+	})
+}
+
+func TestSortDescParallelStability(t *testing.T) {
+	// Heavy ties stress the merge's index tie-breaking across block
+	// boundaries.
+	withProcs(t, 4, func() {
+		scores := make([]float64, 10000)
+		for i := range scores {
+			scores[i] = float64(i % 3)
+		}
+		got := SortDesc(scores)
+		want := refSortDesc(scores)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tie order diverges at %d: %d vs %d", i, got[i], want[i])
+			}
+		}
+	})
+}

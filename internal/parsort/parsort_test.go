@@ -1,0 +1,164 @@
+package parsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pooleddata/internal/rng"
+)
+
+func refSortDesc(scores []float64) []int32 {
+	idx := make([]int32, len(scores))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool { return less(scores, idx[a], idx[b]) })
+	return idx
+}
+
+func randScores(seed uint64, n int, distinct bool) []float64 {
+	r := rng.NewRandSeeded(seed)
+	s := make([]float64, n)
+	for i := range s {
+		if distinct {
+			s[i] = r.Float64()
+		} else {
+			s[i] = float64(r.Intn(8)) // many ties
+		}
+	}
+	return s
+}
+
+func TestSortDescSmall(t *testing.T) {
+	scores := []float64{1, 5, 3, 5, 2}
+	got := SortDesc(scores)
+	want := []int32{1, 3, 2, 4, 0} // 5(idx1), 5(idx3), 3, 2, 1
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortDesc = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortDescEmptyAndSingle(t *testing.T) {
+	if len(SortDesc(nil)) != 0 {
+		t.Fatal("empty input should return empty")
+	}
+	if got := SortDesc([]float64{42}); len(got) != 1 || got[0] != 0 {
+		t.Fatal("singleton wrong")
+	}
+}
+
+func TestSortDescMatchesReferenceLarge(t *testing.T) {
+	// Large enough to exercise the parallel path (n >= 4096).
+	for _, distinct := range []bool{true, false} {
+		scores := randScores(7, 50000, distinct)
+		got := SortDesc(scores)
+		want := refSortDesc(scores)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel sort diverges from reference at %d (distinct=%v)", i, distinct)
+			}
+		}
+	}
+}
+
+func TestSortDescQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := r.Intn(9000)
+		scores := randScores(seed, n, seed%2 == 0)
+		got := SortDesc(scores)
+		want := refSortDesc(scores)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKAgainstSort(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewRandSeeded(seed)
+		n := 1 + r.Intn(5000)
+		k := r.Intn(n + 1)
+		scores := randScores(seed, n, seed%3 != 0)
+		got := TopK(scores, k)
+		ref := refSortDesc(scores)[:k]
+		sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+		if len(got) != k {
+			return false
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKEdges(t *testing.T) {
+	scores := []float64{3, 1, 2}
+	if got := TopK(scores, 0); len(got) != 0 {
+		t.Fatal("TopK(0) not empty")
+	}
+	got := TopK(scores, 3)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("TopK(all) = %v", got)
+	}
+	got = TopK(scores, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TopK(1) = %v", got)
+	}
+}
+
+func TestTopKTiesPreferLowerIndex(t *testing.T) {
+	scores := []float64{5, 5, 5, 5}
+	got := TopK(scores, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ties should prefer lower indices, got %v", got)
+	}
+}
+
+func TestTopKPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("TopK(k=%d) did not panic", k)
+				}
+			}()
+			TopK([]float64{1, 2, 3}, k)
+		}()
+	}
+}
+
+func TestTopKLargeSelect(t *testing.T) {
+	scores := randScores(99, 200000, true)
+	k := 1234
+	got := TopK(scores, k)
+	// Verify against threshold: min of selected >= max of unselected.
+	sel := make(map[int32]bool, k)
+	minSel := 2.0
+	for _, i := range got {
+		sel[i] = true
+		if scores[i] < minSel {
+			minSel = scores[i]
+		}
+	}
+	for i := range scores {
+		if !sel[int32(i)] && scores[i] > minSel {
+			t.Fatalf("unselected score %v exceeds selected min %v", scores[i], minSel)
+		}
+	}
+}

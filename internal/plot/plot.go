@@ -1,0 +1,201 @@
+// Package plot renders experiment series as ASCII charts for terminal
+// inspection — the quick-look counterpart to the gnuplot TSV output. It
+// supports multiple overlaid series (one glyph each), optional log-scaled
+// axes, and vertical marker lines for thresholds (the dashed verticals of
+// the paper's Figs. 3 and 4).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labelled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Config controls rendering.
+type Config struct {
+	// Width and Height are the canvas size in characters; defaults 72×20.
+	Width, Height int
+	// LogX/LogY switch the axes to log10 scale (points with non-positive
+	// coordinates are dropped on log axes).
+	LogX, LogY bool
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// VLines draws vertical markers at the given x positions ('|').
+	VLines []float64
+	// YMin/YMax fix the y range; both zero means auto.
+	YMin, YMax float64
+}
+
+// glyphs assigns one rune per series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the series onto a text canvas and returns it.
+func Render(series []Series, cfg Config) string {
+	w, h := cfg.Width, cfg.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	tx := func(v float64) (float64, bool) {
+		if cfg.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if cfg.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Collect the transformed extent.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		s    int
+	}
+	var pts []pt
+	for si, s := range series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			pts = append(pts, pt{x, y, si})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	for _, v := range cfg.VLines {
+		if x, ok := tx(v); ok {
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+		}
+	}
+	if len(pts) == 0 {
+		return "(no data)\n"
+	}
+	if cfg.YMin != 0 || cfg.YMax != 0 {
+		if y, ok := ty(cfg.YMin); ok {
+			ymin = y
+		}
+		if y, ok := ty(cfg.YMax); ok {
+			ymax = y
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+
+	for _, v := range cfg.VLines {
+		if x, ok := tx(v); ok {
+			c := col(x)
+			for r := 0; r < h; r++ {
+				canvas[r][c] = '|'
+			}
+		}
+	}
+	for _, p := range pts {
+		canvas[row(p.y)][col(p.x)] = glyphs[p.s%len(glyphs)]
+	}
+
+	var sb strings.Builder
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", glyphs[si%len(glyphs)], s.Label)
+	}
+	if len(series) > 0 {
+		sb.WriteByte('\n')
+	}
+	// Frame with y tick labels at the top, middle and bottom rows.
+	inv := func(r int) float64 {
+		y := ymax - float64(r)/float64(h-1)*(ymax-ymin)
+		if cfg.LogY {
+			return math.Pow(10, y)
+		}
+		return y
+	}
+	for r := 0; r < h; r++ {
+		tick := "          "
+		if r == 0 || r == h-1 || r == h/2 {
+			tick = fmt.Sprintf("%9.3g ", inv(r))
+		}
+		sb.WriteString(tick)
+		sb.WriteByte('|')
+		sb.Write(canvas[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 10))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	// X tick labels.
+	invX := func(c int) float64 {
+		x := xmin + float64(c)/float64(w-1)*(xmax-xmin)
+		if cfg.LogX {
+			return math.Pow(10, x)
+		}
+		return x
+	}
+	left := fmt.Sprintf("%-10.4g", invX(0))
+	mid := fmt.Sprintf("%.4g", invX(w/2))
+	right := fmt.Sprintf("%.4g", invX(w-1))
+	gap1 := w/2 - len(left) + 10 - len(mid)/2
+	if gap1 < 1 {
+		gap1 = 1
+	}
+	gap2 := w - w/2 - len(mid)/2 - len(right)
+	if gap2 < 1 {
+		gap2 = 1
+	}
+	sb.WriteString(left + strings.Repeat(" ", gap1) + mid + strings.Repeat(" ", gap2) + right + "\n")
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&sb, "%*s x: %s    y: %s\n", 10, "", cfg.XLabel, cfg.YLabel)
+	}
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func linear() []Series {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	return []Series{{Label: "lin", X: xs, Y: ys}}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(linear(), Config{Width: 40, Height: 10, XLabel: "m", YLabel: "rate"})
+	if !strings.Contains(out, "lin") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("glyphs missing")
+	}
+	if !strings.Contains(out, "x: m") || !strings.Contains(out, "y: rate") {
+		t.Fatal("axis labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// legend + 10 canvas rows + frame + xticks + labels = 14
+	if len(lines) != 14 {
+		t.Fatalf("expected 14 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMonotoneOrientation(t *testing.T) {
+	// Increasing series: first glyph column should appear on a *lower*
+	// row later (y grows upward).
+	out := Render(linear(), Config{Width: 40, Height: 10})
+	lines := strings.Split(out, "\n")[1:] // skip the legend line
+	var firstRow, lastRow int = -1, -1
+	for r, line := range lines {
+		c := strings.IndexByte(line, '*')
+		if c < 0 {
+			continue
+		}
+		if firstRow == -1 {
+			firstRow = r
+		}
+		lastRow = r
+	}
+	if firstRow == -1 {
+		t.Fatal("no points plotted")
+	}
+	// Topmost row holds the largest y, which belongs to the largest x:
+	// the topmost '*' must be to the right of the bottommost '*'.
+	top := strings.IndexByte(lines[firstRow], '*')
+	bottom := strings.IndexByte(lines[lastRow], '*')
+	if top <= bottom {
+		t.Fatalf("orientation wrong: top col %d, bottom col %d", top, bottom)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Config{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty render = %q", out)
+	}
+	// Series with only non-positive values on a log axis degenerate to
+	// no data.
+	s := []Series{{Label: "bad", X: []float64{-1, 0}, Y: []float64{1, 2}}}
+	if out := Render(s, Config{LogX: true}); !strings.Contains(out, "no data") {
+		t.Fatal("log axis should drop non-positive x")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	s := []Series{{Label: "pow", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 10, 100, 1000}}}
+	out := Render(s, Config{Width: 30, Height: 8, LogX: true, LogY: true})
+	// On log-log a power law is a straight line: check the plotted
+	// columns are roughly evenly spaced.
+	lines := strings.Split(out, "\n")[1:] // skip the legend line
+	var cols []int
+	for _, line := range lines {
+		if c := strings.IndexByte(line, '*'); c >= 0 {
+			cols = append(cols, c)
+		}
+	}
+	if len(cols) != 4 {
+		t.Fatalf("want 4 plotted rows, got %d", len(cols))
+	}
+	d1 := cols[0] - cols[1]
+	d2 := cols[1] - cols[2]
+	if d1 < 0 {
+		d1, d2 = -d1, -d2
+	}
+	if d2 < 0 {
+		t.Fatal("columns not monotone")
+	}
+	if d1-d2 > 2 || d2-d1 > 2 {
+		t.Fatalf("log spacing uneven: %v", cols)
+	}
+}
+
+func TestRenderVLines(t *testing.T) {
+	out := Render(linear(), Config{Width: 40, Height: 6, VLines: []float64{3}})
+	if strings.Count(out, "|") < 6+4 { // frame ticks + marker column (points may overwrite)
+		t.Fatal("vertical marker missing")
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	s := []Series{
+		{Label: "a", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Label: "b", X: []float64{1, 2}, Y: []float64{2, 1}},
+	}
+	out := Render(s, Config{Width: 20, Height: 6})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("distinct glyphs missing")
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	out := Render(linear(), Config{Width: 30, Height: 6, YMin: 0.0001, YMax: 100})
+	if !strings.Contains(out, "100") {
+		t.Fatalf("fixed y max not reflected:\n%s", out)
+	}
+}
+
+func TestRenderDegenerateExtent(t *testing.T) {
+	s := []Series{{Label: "const", X: []float64{5}, Y: []float64{7}}}
+	out := Render(s, Config{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}

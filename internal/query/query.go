@@ -1,0 +1,273 @@
+// Package query simulates the measurement side of the pooled data problem:
+// the lab robot (or GPU, or PCR machine) that evaluates all pooled queries
+// in parallel.
+//
+// The paper's premise is that performing a query is expensive — a
+// biological process, a neural network evaluation — while the
+// reconstruction is cheap, which is why the design is non-adaptive and all
+// m queries run simultaneously. This package provides:
+//
+//   - Oracles: the additive oracle of the paper (exact count of one-entries,
+//     multi-edges counted with multiplicity), plus noisy and threshold
+//     variants used by the extension experiments.
+//   - A parallel executor that evaluates all queries with a bounded worker
+//     pool (the simulation's real parallelism).
+//   - A virtual-time scheduler for the partially-parallel regime of §VI:
+//     only L processing units exist, so the m queries are list-scheduled
+//     onto the units and the simulated makespan is reported.
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/rng"
+)
+
+// Oracle answers one pooled query over the hidden signal. entries/mults
+// describe the query's multiset ∂a_j in compressed form. r is a stream
+// private to the query for randomized (noisy) oracles; deterministic
+// oracles ignore it.
+type Oracle interface {
+	// Answer returns the oracle's response for the given pool.
+	Answer(sigma *bitvec.Vector, entries, mults []int32, r *rng.Rand) int64
+	// Name identifies the oracle in experiment output.
+	Name() string
+}
+
+// Additive is the paper's query model: the exact number of one-entries in
+// the pool, counted with multiplicity (an entry drawn twice contributes
+// twice).
+type Additive struct{}
+
+// Name implements Oracle.
+func (Additive) Name() string { return "additive" }
+
+// Answer implements Oracle.
+func (Additive) Answer(sigma *bitvec.Vector, entries, mults []int32, _ *rng.Rand) int64 {
+	var s int64
+	for p, e := range entries {
+		if sigma.Get(int(e)) {
+			s += int64(mults[p])
+		}
+	}
+	return s
+}
+
+// Noisy wraps the additive count with additive rounded Gaussian noise of
+// standard deviation Sigma — the standard robustness model for pooled
+// measurements. Responses are clamped at zero.
+type Noisy struct {
+	Sigma float64
+}
+
+// Name implements Oracle.
+func (o Noisy) Name() string { return fmt.Sprintf("noisy(σ=%g)", o.Sigma) }
+
+// Answer implements Oracle.
+func (o Noisy) Answer(sigma *bitvec.Vector, entries, mults []int32, r *rng.Rand) int64 {
+	v := Additive{}.Answer(sigma, entries, mults, nil)
+	if o.Sigma > 0 && r != nil {
+		v += int64(o.Sigma*r.NormFloat64() + 0.5)
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Threshold is the threshold group testing oracle of §VI: it returns 1 iff
+// the number of one-entries in the pool (with multiplicity) is at least T.
+// T = 1 recovers classical binary group testing.
+type Threshold struct {
+	T int64
+}
+
+// Name implements Oracle.
+func (o Threshold) Name() string { return fmt.Sprintf("threshold(T=%d)", o.T) }
+
+// Answer implements Oracle.
+func (o Threshold) Answer(sigma *bitvec.Vector, entries, mults []int32, _ *rng.Rand) int64 {
+	t := o.T
+	if t < 1 {
+		t = 1
+	}
+	if (Additive{}).Answer(sigma, entries, mults, nil) >= t {
+		return 1
+	}
+	return 0
+}
+
+// LatencyModel assigns a simulated duration to each query. Models must be
+// deterministic functions of (query index, stream).
+type LatencyModel interface {
+	// Duration returns the simulated execution time of query j.
+	Duration(j int, r *rng.Rand) time.Duration
+}
+
+// ConstantLatency gives every query the same duration.
+type ConstantLatency struct {
+	D time.Duration
+}
+
+// Duration implements LatencyModel.
+func (c ConstantLatency) Duration(int, *rng.Rand) time.Duration { return c.D }
+
+// UniformLatency draws each query's duration uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Duration implements LatencyModel.
+func (u UniformLatency) Duration(_ int, r *rng.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	span := uint64(u.Max - u.Min + 1)
+	return u.Min + time.Duration(r.Uint64n(span))
+}
+
+// Options configures an execution.
+type Options struct {
+	// Oracle answering the queries; nil means Additive{}.
+	Oracle Oracle
+	// Units is the number L of parallel processing units for the
+	// simulated schedule. 0 means fully parallel (one round: L = m).
+	Units int
+	// Latency is the per-query simulated duration model; nil means one
+	// unit of time per query.
+	Latency LatencyModel
+	// Workers bounds the real goroutine pool; 0 means GOMAXPROCS.
+	Workers int
+	// Seed feeds per-query rng streams (noise, random latencies).
+	Seed uint64
+}
+
+func (o Options) oracle() Oracle {
+	if o.Oracle == nil {
+		return Additive{}
+	}
+	return o.Oracle
+}
+
+func (o Options) latency() LatencyModel {
+	if o.Latency == nil {
+		// One virtual time unit (nanosecond) per query; only ratios matter.
+		return ConstantLatency{D: 1}
+	}
+	return o.Latency
+}
+
+// Result is the outcome of executing all queries of a design.
+type Result struct {
+	// Y is the response vector, Y[j] = oracle answer of query j.
+	Y []int64
+	// Rounds is the number of scheduling rounds: with L units and m
+	// queries of equal latency this is ⌈m/L⌉; 1 when fully parallel.
+	Rounds int
+	// Makespan is the simulated completion time of the last query under
+	// list scheduling onto the L units.
+	Makespan time.Duration
+	// TotalWork is the sum of all simulated query durations (the
+	// sequential-execution time).
+	TotalWork time.Duration
+}
+
+// Execute evaluates every query of g against sigma. The response vector is
+// deterministic given (g, sigma, Options.Seed) regardless of worker count;
+// the simulated schedule is computed with virtual time, not wall time.
+func Execute(g *graph.Bipartite, sigma *bitvec.Vector, opts Options) Result {
+	if g.N() != sigma.Len() {
+		panic(fmt.Sprintf("query: design over %d entries, signal has %d", g.N(), sigma.Len()))
+	}
+	m := g.M()
+	res := Result{Y: make([]int64, m)}
+	oracle := opts.oracle()
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	durations := make([]time.Duration, m)
+	lat := opts.latency()
+
+	if workers <= 1 {
+		for j := 0; j < m; j++ {
+			r := rng.NewRand(rng.NewXoshiro(rng.DeriveSeed(opts.Seed, uint64(j))))
+			e, mu := g.QueryEntries(j)
+			res.Y[j] = oracle.Answer(sigma, e, mu, r)
+			durations[j] = lat.Duration(j, r)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * m / workers
+			hi := (w + 1) * m / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for j := lo; j < hi; j++ {
+					r := rng.NewRand(rng.NewXoshiro(rng.DeriveSeed(opts.Seed, uint64(j))))
+					e, mu := g.QueryEntries(j)
+					res.Y[j] = oracle.Answer(sigma, e, mu, r)
+					durations[j] = lat.Duration(j, r)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	res.Rounds, res.Makespan, res.TotalWork = Schedule(durations, opts.Units)
+	return res
+}
+
+// Schedule list-schedules the given query durations onto L units
+// (0 or >= len(durations) means fully parallel) and returns the number of
+// rounds, the makespan, and the total work. Queries are assigned in index
+// order to the unit that becomes free earliest, which models a lab feeding
+// its L machines from a fixed queue.
+func Schedule(durations []time.Duration, units int) (rounds int, makespan, total time.Duration) {
+	m := len(durations)
+	if m == 0 {
+		return 0, 0, 0
+	}
+	if units <= 0 || units >= m {
+		for _, d := range durations {
+			total += d
+			if d > makespan {
+				makespan = d
+			}
+		}
+		return 1, makespan, total
+	}
+	free := make([]time.Duration, units)
+	counts := make([]int, units)
+	for _, d := range durations {
+		// Pick the earliest-free unit.
+		best := 0
+		for u := 1; u < units; u++ {
+			if free[u] < free[best] {
+				best = u
+			}
+		}
+		free[best] += d
+		counts[best]++
+		total += d
+	}
+	for u := 0; u < units; u++ {
+		if free[u] > makespan {
+			makespan = free[u]
+		}
+		if counts[u] > rounds {
+			rounds = counts[u]
+		}
+	}
+	return rounds, makespan, total
+}

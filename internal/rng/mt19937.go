@@ -1,0 +1,101 @@
+package rng
+
+// MT19937 implements the 64-bit Mersenne Twister of Nishimura and
+// Matsumoto, the generator behind C++11's std::mt19937_64 which the paper's
+// original simulator uses. Parameters follow the reference implementation
+// (mt19937-64.c, 2004/9/29 version).
+type MT19937 struct {
+	state [mtN]uint64
+	index int
+}
+
+const (
+	mtN         = 312
+	mtM         = 156
+	mtMatrixA   = 0xB5026F5AA96619E9
+	mtUpperMask = 0xFFFFFFFF80000000
+	mtLowerMask = 0x000000007FFFFFFF
+	mtInitMult  = 6364136223846793005
+)
+
+// NewMT19937 returns a Mersenne Twister seeded exactly as the C++ reference
+// seeds from a single 64-bit value.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed resets the state using the reference init_genrand64 recurrence.
+func (m *MT19937) Seed(seed uint64) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = mtInitMult*(m.state[i-1]^(m.state[i-1]>>62)) + uint64(i)
+	}
+	m.index = mtN
+}
+
+// Uint64 returns the next tempered output.
+func (m *MT19937) Uint64() uint64 {
+	if m.index >= mtN {
+		m.twist()
+	}
+	x := m.state[m.index]
+	m.index++
+
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}
+
+// twist regenerates the full state block of 312 words.
+func (m *MT19937) twist() {
+	var i int
+	for ; i < mtN-mtM; i++ {
+		x := (m.state[i] & mtUpperMask) | (m.state[i+1] & mtLowerMask)
+		m.state[i] = m.state[i+mtM] ^ (x >> 1) ^ ((x & 1) * mtMatrixA)
+	}
+	for ; i < mtN-1; i++ {
+		x := (m.state[i] & mtUpperMask) | (m.state[i+1] & mtLowerMask)
+		m.state[i] = m.state[i+mtM-mtN] ^ (x >> 1) ^ ((x & 1) * mtMatrixA)
+	}
+	x := (m.state[mtN-1] & mtUpperMask) | (m.state[0] & mtLowerMask)
+	m.state[mtN-1] = m.state[mtM-1] ^ (x >> 1) ^ ((x & 1) * mtMatrixA)
+	m.index = 0
+}
+
+// SeedSlice seeds from a key array, mirroring init_by_array64 of the
+// reference implementation. It is provided for bit-compatibility with
+// simulations that seed the C++ engine with seed sequences.
+func (m *MT19937) SeedSlice(key []uint64) {
+	m.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if mtN > k {
+		k = mtN
+	}
+	for ; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 62)) * 3935559000370003845)) + key[j] + uint64(j)
+		i++
+		j++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = mtN - 1; k > 0; k-- {
+		m.state[i] = (m.state[i] ^ ((m.state[i-1] ^ (m.state[i-1] >> 62)) * 2862933555777941757)) - uint64(i)
+		i++
+		if i >= mtN {
+			m.state[0] = m.state[mtN-1]
+			i = 1
+		}
+	}
+	m.state[0] = 1 << 63
+	m.index = mtN
+}

@@ -1,0 +1,35 @@
+package rng
+
+// Streams produces independent per-worker generators from one master seed.
+// Parallel components (design construction, query execution, experiment
+// trials) each take a Streams and hand stream i to worker i, so results are
+// reproducible regardless of scheduling and no Source is ever shared
+// between goroutines.
+type Streams struct {
+	master uint64
+	algo   Algorithm
+}
+
+// NewStreams returns a stream family rooted at master using algo for the
+// member generators.
+func NewStreams(algo Algorithm, master uint64) *Streams {
+	return &Streams{master: master, algo: algo}
+}
+
+// Stream returns generator number i of the family. Calling Stream twice
+// with the same index yields generators producing identical output.
+func (s *Streams) Stream(i uint64) Source {
+	return New(s.algo, DeriveSeed(s.master, i))
+}
+
+// Rand returns stream i wrapped in a *Rand.
+func (s *Streams) Rand(i uint64) *Rand {
+	return NewRand(s.Stream(i))
+}
+
+// Sub returns a child family whose streams are independent from this
+// family's streams; used when a worker itself fans out (e.g. a trial that
+// builds a design in parallel).
+func (s *Streams) Sub(i uint64) *Streams {
+	return &Streams{master: DeriveSeed(s.master^0xa5a5a5a5a5a5a5a5, i), algo: s.algo}
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small statistical toolkit of the experiment
+// harness: streaming summaries, confidence intervals for success rates,
+// and the monotone searches used to locate phase transitions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates moments of a sample via Welford's algorithm. The
+// zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add inserts one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String renders the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g±%.2g [%.4g,%.4g]", s.n, s.Mean(), s.StdErr(), s.min, s.max)
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion with
+// successes out of trials at confidence z (1.96 for 95%). It is the
+// interval plotted around the success-rate curves.
+func Wilson(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MinimalTrue finds the smallest x in [lo, hi] with pred(x) true, assuming
+// pred is monotone (false … false true … true). It returns hi+1 when pred
+// is false everywhere in range.
+func MinimalTrue(lo, hi int, pred func(int) bool) int {
+	ans := hi + 1
+	for lo <= hi {
+		mid := lo + (hi-lo)/2
+		if pred(mid) {
+			ans = mid
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return ans
+}
+
+// ExponentialBracket grows x from start by factor two until pred(x) is
+// true (returning that x) or x would exceed cap (returning cap and the
+// predicate value at cap).
+func ExponentialBracket(start, cap int, pred func(int) bool) (int, bool) {
+	if start < 1 {
+		start = 1
+	}
+	x := start
+	for x < cap {
+		if pred(x) {
+			return x, true
+		}
+		x *= 2
+	}
+	return cap, pred(cap)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-observation summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		var s Summary
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		v := ss / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(v))
+		return math.Abs(s.Mean()-mean) < 1e-8*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Var()-v) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := Wilson(50, 100, 1.96)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("Wilson(50/100) = [%v,%v] should straddle 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide: [%v,%v]", lo, hi)
+	}
+	// Edges stay within [0,1].
+	lo, hi = Wilson(0, 10, 1.96)
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("Wilson(0/10) = [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(10, 10, 1.96)
+	if hi != 1 || lo >= 1 {
+		t.Fatalf("Wilson(10/10) = [%v,%v]", lo, hi)
+	}
+	lo, hi = Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatal("empty trials should give the vacuous interval")
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	lo1, hi1 := Wilson(5, 10, 1.96)
+	lo2, hi2 := Wilson(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("interval should shrink with more trials")
+	}
+}
+
+func TestMinimalTrue(t *testing.T) {
+	got := MinimalTrue(0, 100, func(x int) bool { return x >= 37 })
+	if got != 37 {
+		t.Fatalf("MinimalTrue = %d, want 37", got)
+	}
+	if MinimalTrue(0, 10, func(int) bool { return false }) != 11 {
+		t.Fatal("all-false should return hi+1")
+	}
+	if MinimalTrue(5, 10, func(int) bool { return true }) != 5 {
+		t.Fatal("all-true should return lo")
+	}
+	if MinimalTrue(7, 7, func(x int) bool { return x == 7 }) != 7 {
+		t.Fatal("single point failed")
+	}
+}
+
+func TestMinimalTrueQuickAgainstLinear(t *testing.T) {
+	f := func(seed uint64) bool {
+		threshold := int(seed % 50)
+		pred := func(x int) bool { return x >= threshold }
+		want := threshold
+		if threshold > 40 {
+			want = threshold // still within [0,49] range check below
+		}
+		got := MinimalTrue(0, 49, pred)
+		if threshold >= 50 {
+			return got == 50
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialBracket(t *testing.T) {
+	x, ok := ExponentialBracket(1, 1000, func(x int) bool { return x >= 100 })
+	if !ok || x != 128 {
+		t.Fatalf("bracket = (%d,%v), want (128,true)", x, ok)
+	}
+	x, ok = ExponentialBracket(1, 50, func(x int) bool { return x >= 100 })
+	if ok || x != 50 {
+		t.Fatalf("unreachable bracket = (%d,%v), want (50,false)", x, ok)
+	}
+	x, ok = ExponentialBracket(0, 10, func(x int) bool { return x >= 1 })
+	if !ok || x != 1 {
+		t.Fatalf("start clamp = (%d,%v)", x, ok)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{3, 1, 2, 4, 5}
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(s, 0.5) != 3 {
+		t.Fatalf("median = %v, want 3", Quantile(s, 0.5))
+	}
+	if math.Abs(Quantile(s, 0.25)-2) > 1e-12 {
+		t.Fatalf("q25 = %v, want 2", Quantile(s, 0.25))
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be modified.
+	if s[0] != 3 {
+		t.Fatal("Quantile modified its input")
+	}
+}

@@ -1,0 +1,200 @@
+package threshgt
+
+import (
+	"testing"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+)
+
+// gtInstance builds a threshold-query instance with pools sized by
+// RecommendedGamma.
+func gtInstance(t testing.TB, n, k, m, T int, seed uint64) (*graph.Bipartite, *bitvec.Vector, []int64) {
+	t.Helper()
+	des := pooling.RandomRegular{Gamma: RecommendedGamma(n, k, T)}
+	g, err := des.Build(n, m, pooling.BuildOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(seed^0xabcd))
+	res := query.Execute(g, sigma, query.Options{Oracle: query.Threshold{T: int64(T)}, Seed: seed})
+	return g, sigma, res.Y
+}
+
+func TestRecommendedGamma(t *testing.T) {
+	// T = 1: ln2·n/k.
+	if got := RecommendedGamma(1000, 10, 1); got < 60 || got > 80 {
+		t.Fatalf("Gamma(T=1) = %d, want ≈ 69", got)
+	}
+	// T = 4: T·n/k.
+	if got := RecommendedGamma(1000, 10, 4); got != 400 {
+		t.Fatalf("Gamma(T=4) = %d, want 400", got)
+	}
+	// Clamps.
+	if RecommendedGamma(10, 0, 1) > 10 || RecommendedGamma(10, 100, 5) < 1 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g, _, y := gtInstance(t, 100, 5, 50, 1, 1)
+	for _, d := range []interface {
+		Decode(*graph.Bipartite, []int64, int) (*bitvec.Vector, error)
+		Name() string
+	}{COMP{}, DD{}, Scored{}} {
+		if _, err := d.Decode(g, y[:3], 5); err == nil {
+			t.Fatalf("%s accepted short y", d.Name())
+		}
+		if _, err := d.Decode(g, y, -1); err == nil {
+			t.Fatalf("%s accepted bad k", d.Name())
+		}
+		bad := append([]int64{}, y...)
+		bad[0] = 7
+		if _, err := d.Decode(g, bad, 5); err == nil {
+			t.Fatalf("%s accepted non-binary results", d.Name())
+		}
+	}
+}
+
+func TestCOMPRecoversWithEnoughTests(t *testing.T) {
+	n, k := 500, 5
+	m := 220 // well above ln2^-1 k ln(n/k) ≈ 33... generous for exactness
+	g, sigma, y := gtInstance(t, n, k, m, 1, 2)
+	est, err := (COMP{}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Equal(sigma) {
+		t.Fatalf("COMP failed with m=%d (overlap %.2f)", m, bitvec.OverlapFraction(sigma, est))
+	}
+}
+
+func TestCOMPNoFalseNegativesProperty(t *testing.T) {
+	// Every true one-entry is in no negative pool, so its score is finite
+	// while excluded zeros get -Inf; with enough pools the top-k always
+	// contains all true ones.
+	for seed := uint64(0); seed < 10; seed++ {
+		n, k, m := 300, 4, 150
+		g, sigma, y := gtInstance(t, n, k, m, 1, 100+seed)
+		est, err := (COMP{}).Decode(g, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check: no true one was excluded by a negative pool.
+		sigma.ForEachSet(func(i int) {
+			qs, _ := g.EntryQueries(i)
+			for _, j := range qs {
+				if y[j] == 0 {
+					t.Fatalf("true one-entry %d sits in negative pool %d — oracle broken", i, j)
+				}
+			}
+		})
+		_ = est
+	}
+}
+
+func TestDDNoFalsePositives(t *testing.T) {
+	// DD's definite defectives are provably one: on exact data the output
+	// must be a subset of the truth.
+	for seed := uint64(0); seed < 20; seed++ {
+		n, k, m := 400, 6, 60 // deliberately small m: DD stays partial
+		g, sigma, y := gtInstance(t, n, k, m, 1, 200+seed)
+		est, err := (DD{}).Decode(g, y, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Overlap(sigma) != est.Weight() {
+			t.Fatalf("seed %d: DD produced a false positive", seed)
+		}
+	}
+}
+
+func TestDDCompleteWithManyTests(t *testing.T) {
+	n, k, m := 300, 4, 400
+	g, sigma, y := gtInstance(t, n, k, m, 1, 3)
+	est, err := (DD{}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Equal(sigma) {
+		t.Fatalf("DD incomplete at m=%d: weight %d of %d", m, est.Weight(), k)
+	}
+}
+
+func TestScoredGeneralThreshold(t *testing.T) {
+	// T = 3: pools sized so the count straddles 3; the scored decoder
+	// should recover with a generous budget.
+	n, k := 400, 8
+	m := 600
+	g, sigma, y := gtInstance(t, n, k, m, 3, 4)
+	est, err := (Scored{}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitvec.OverlapFraction(sigma, est) < 0.8 {
+		t.Fatalf("scored decoder overlap %.2f at T=3, m=%d", bitvec.OverlapFraction(sigma, est), m)
+	}
+	if est.Weight() != k {
+		t.Fatalf("weight %d, want %d", est.Weight(), k)
+	}
+}
+
+func TestScoredImprovesWithM(t *testing.T) {
+	n, k, T := 400, 8, 2
+	overlapAt := func(m int) float64 {
+		total := 0.0
+		for seed := uint64(0); seed < 8; seed++ {
+			_, sigma, _ := gtInstance(t, n, k, m, T, 300+seed)
+			g, sig2, y := gtInstance(t, n, k, m, T, 300+seed)
+			est, err := (Scored{}).Decode(g, y, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = sigma
+			total += bitvec.OverlapFraction(sig2, est)
+		}
+		return total / 8
+	}
+	lo, hi := overlapAt(60), overlapAt(600)
+	if hi <= lo {
+		t.Fatalf("threshold decoder did not improve with m: %.2f vs %.2f", lo, hi)
+	}
+}
+
+func TestBinaryGTBeatsAdditiveDesignAtT1(t *testing.T) {
+	// With the additive design's Γ = n/2 pools, T=1 queries are all
+	// positive and carry no information; with RecommendedGamma they work.
+	// This documents why the threshold regime needs its own design.
+	n, k, m := 300, 5, 200
+	wide, err := pooling.RandomRegular{}.Build(n, m, pooling.BuildOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(10))
+	resWide := query.Execute(wide, sigma, query.Options{Oracle: query.Threshold{T: 1}})
+	allPos := true
+	for _, v := range resWide.Y {
+		if v == 0 {
+			allPos = false
+			break
+		}
+	}
+	if !allPos {
+		t.Skip("wide pools unexpectedly produced a negative test; instance too small to demonstrate")
+	}
+	estWide, err := (Scored{}).Decode(wide, resWide.Y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, sig, y := gtInstance(t, n, k, m, 1, 11)
+	estGood, err := (COMP{}).Decode(g, y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitvec.OverlapFraction(sig, estGood) <= bitvec.OverlapFraction(sigma, estWide) {
+		t.Fatal("properly sized pools should beat saturated Γ=n/2 pools at T=1")
+	}
+}

@@ -1,0 +1,155 @@
+package thresholds
+
+import "math"
+
+// This file evaluates the first-moment machinery of §IV numerically: the
+// expected number of alternative signals E[Z_{k,ℓ}] consistent with the
+// query results (Lemma 8) and its exponential rate f_{n,k}(ℓ) (Lemmas 9
+// and 10). The unit tests use these evaluators to verify Theorem 2's
+// phase transition at c = 2 without any simulation.
+
+// logBinom returns ln C(n, k) via lgamma; 0 for degenerate arguments.
+func logBinom(n, k float64) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(n + 1)
+	ln2, _ := math.Lgamma(k + 1)
+	ln3, _ := math.Lgamma(n - k + 1)
+	return ln1 - ln2 - ln3
+}
+
+// CountingBoundSeq returns the exact universal counting lower bound of
+// Eq. (1) without asymptotic simplification: each query returns one of
+// k+1 values, so m ≥ ln C(n,k) / ln(k+1) queries are necessary for any
+// scheme, sequential or parallel. Unlike BPDSeq this is valid in every
+// regime, including the dense k = Θ(n) case the paper's related work
+// (Alaoui et al., Scarlett–Cevher) studies.
+func CountingBoundSeq(n, k int) float64 {
+	if n < 1 || k < 1 || k > n {
+		return 0
+	}
+	return logBinom(float64(n), float64(k)) / math.Log(float64(k)+1)
+}
+
+// CountingBoundPara is the parallel-design version: Djackov's converse
+// doubles the counting bound (Eq. (2)).
+func CountingBoundPara(n, k int) float64 {
+	return 2 * CountingBoundSeq(n, k)
+}
+
+// LogExpectedZ returns ln E[Z_{k,ℓ}(G,y) | R] following Lemma 8:
+//
+//	E[Z_{k,ℓ}] ≤ C(k,ℓ)·C(n−k, k−ℓ)·( (2π E[X])^{-1/2} )^m
+//
+// with X ~ Bin≥1(Γ, q), q = 2(1−ℓ/k)k/n and the Jensen-gap simplification
+// E[1/√X] = (1+o(1))/√E[X] of Lemma 13 (valid while Γ·q → ∞, i.e. ℓ
+// bounded away from k, which is exactly the regime of Proposition 7).
+func LogExpectedZ(n, k, m int, ell int) float64 {
+	nf, kf, lf := float64(n), float64(k), float64(ell)
+	gammaSz := float64((n + 1) / 2) // Γ = ⌈n/2⌉
+	q := 2 * (1 - lf/kf) * kf / nf
+	if q <= 0 {
+		// ℓ = k: no flipped entries, Z counts only σ itself, excluded.
+		return math.Inf(-1)
+	}
+	// E[X] for X ~ Bin≥1(Γ, q): Γq / (1 − (1−q)^Γ).
+	mean := gammaSz * q
+	denom := -math.Expm1(gammaSz * math.Log1p(-q))
+	if denom > 0 {
+		mean /= denom
+	}
+	perQuery := -0.5 * math.Log(2*math.Pi*mean)
+	return logBinom(kf, lf) + logBinom(nf-kf, kf-lf) + float64(m)*perQuery
+}
+
+// RateF returns f_{n,k}(ℓ) of Lemma 9 — the exponential rate
+// (1/n)·ln E[Z_{k,ℓ}] in its entropy form:
+//
+//	f = (k/n)·H(ℓ/k) + (1−k/n)·H((k−ℓ)/(n−k))
+//	  − (c·k/n)·(ln(n/k)/(2 ln k))·ln(2π(1−ℓ/k)k)
+//
+// where c parametrizes the query count as m = c·k·ln(n/k)/ln k.
+func RateF(n, k int, c float64, ell float64) float64 {
+	nf, kf := float64(n), float64(k)
+	t1 := kf / nf * Entropy(ell/kf)
+	t2 := (1 - kf/nf) * Entropy((kf-ell)/(nf-kf))
+	arg := 2 * math.Pi * (1 - ell/kf) * kf
+	if arg <= 1 {
+		arg = 1
+	}
+	t3 := c * kf / nf * math.Log(nf/kf) / (2 * math.Log(kf)) * math.Log(arg)
+	return t1 + t2 - t3
+}
+
+// MaxRateF maximizes f_{n,k} over the first-moment range
+// ℓ ∈ [0, k − γ·ln k] by golden-section search bracketed around the
+// analytic maximizer ℓ* = Θ(k²/n), falling back to a grid scan. Returns
+// the maximum value.
+func MaxRateF(n, k int, c float64) float64 {
+	hi := float64(k) - GammaConst*math.Log(float64(k))
+	if hi < 0 {
+		hi = 0
+	}
+	// Dense logarithmic grid: f is smooth with a single interior max at
+	// ℓ = Θ(k²/n) (proof of Lemma 10), so a log grid plus local refine
+	// is robust.
+	best := math.Inf(-1)
+	bestL := 0.0
+	steps := 400
+	for i := 0; i <= steps; i++ {
+		l := hi * float64(i) / float64(steps)
+		if v := RateF(n, k, c, l); v > best {
+			best = v
+			bestL = l
+		}
+	}
+	// Local golden-section refinement around the grid argmax.
+	lo := math.Max(0, bestL-hi/float64(steps))
+	up := math.Min(hi, bestL+hi/float64(steps))
+	const phi = 0.6180339887498949
+	a, b := lo, up
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := RateF(n, k, c, x1), RateF(n, k, c, x2)
+	for iter := 0; iter < 80; iter++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = RateF(n, k, c, x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = RateF(n, k, c, x1)
+		}
+	}
+	if f1 > best {
+		best = f1
+	}
+	if f2 > best {
+		best = f2
+	}
+	return best
+}
+
+// CriticalC finds, by bisection, the constant c at which the first-moment
+// rate changes sign — numerically recovering the c = 2 phase transition of
+// Theorem 2 (Eq. (14): nf_{n,k} < 0 ⟺ c > 2 + o(1)).
+func CriticalC(n, k int) float64 {
+	lo, hi := 0.1, 16.0
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if MaxRateF(n, k, mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MFromC converts the parametrization m = c·k·ln(n/k)/ln k into a query
+// count.
+func MFromC(n, k int, c float64) float64 {
+	return c * float64(k) * math.Log(float64(n)/float64(k)) / math.Log(float64(k))
+}

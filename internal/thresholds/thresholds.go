@@ -1,0 +1,140 @@
+// Package thresholds collects every closed-form query-count threshold the
+// paper states or compares against, plus a numeric evaluator for the
+// first-moment bound behind Theorem 2. These are the dotted/dashed curves
+// of Figures 2–4 and the columns of the related-work comparison.
+//
+// Conventions: k = n^θ with θ ∈ (0,1); all thresholds are leading-order
+// expressions in the number of queries m. Natural logarithms throughout.
+package thresholds
+
+import "math"
+
+// GammaConst is γ = 1 − e^{−1/2}, the limiting inclusion probability of
+// the paper's design.
+const GammaConst = 0.3934693402873666
+
+// Theta returns the sparsity exponent θ = ln k / ln n of an instance.
+// Degenerate inputs (n < 2, k < 1) return NaN.
+func Theta(n, k int) float64 {
+	if n < 2 || k < 1 {
+		return math.NaN()
+	}
+	return math.Log(float64(k)) / math.Log(float64(n))
+}
+
+// KFromTheta returns k = round(n^θ), clamped to [1, n] — the paper rounds
+// the number of one-entries to the closest integer (the source of the
+// discontinuities in Fig. 2's theory curves).
+func KFromTheta(n int, theta float64) int {
+	k := int(math.Round(math.Pow(float64(n), theta)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// MN returns m_MN(n,θ) of Theorem 1, the number of parallel queries above
+// which the MN-Algorithm succeeds w.h.p.:
+//
+//	m_MN = 4(1 − e^{−1/2}) · (1+√θ)/(1−√θ) · k·ln(n/k).
+func MN(n, k int) float64 {
+	th := Theta(n, k)
+	if math.IsNaN(th) || th >= 1 {
+		return math.Inf(1)
+	}
+	s := math.Sqrt(th)
+	return 4 * GammaConst * (1 + s) / (1 - s) * float64(k) * math.Log(float64(n)/float64(k))
+}
+
+// BPDPara returns the sharp information-theoretic threshold for parallel
+// designs (Theorem 2 and Djackov's converse):
+//
+//	m_para = 2·k·ln(n/k)/ln k  = 2·(1−θ)/θ·k.
+func BPDPara(n, k int) float64 {
+	if k < 2 {
+		// ln k = 0: the counting bound degenerates; a weight-1 signal
+		// needs only enough queries to pin one coordinate.
+		return 2 * float64(k) * math.Log(float64(n))
+	}
+	return 2 * float64(k) * math.Log(float64(n)/float64(k)) / math.Log(float64(k))
+}
+
+// BPDSeq returns the universal (sequential-design) counting lower bound
+// m_seq = k·ln(n/k)/ln k, Eq. (1) of the paper.
+func BPDSeq(n, k int) float64 {
+	return BPDPara(n, k) / 2
+}
+
+// GT returns the query count of the optimal binary group testing
+// algorithm of Coja-Oghlan et al. (§I.D): m_GT ≈ ln⁻¹(2)·k·ln(n/k). Valid
+// (efficiently) for θ ≤ ln2/(1+ln2) ≈ 0.409.
+func GT(n, k int) float64 {
+	return float64(k) * math.Log(float64(n)/float64(k)) / math.Ln2
+}
+
+// GTThetaLimit is the sparsity limit up to which the binary group testing
+// decoder of [9] is efficient.
+const GTThetaLimit = 0.40938389085035876 // ln 2 / (1 + ln 2)
+
+// BasisPursuit returns the (2+o(1))·k·ln n rate of ℓ1-minimization /
+// basis pursuit quoted in §I.B.
+func BasisPursuit(n, k int) float64 {
+	return 2 * float64(k) * math.Log(float64(n))
+}
+
+// DonohoTanner returns the (2+o(1))·k·ln(n/k) rate of the ℓ1 threshold
+// analysis quoted in §I.B.
+func DonohoTanner(n, k int) float64 {
+	return 2 * float64(k) * math.Log(float64(n)/float64(k))
+}
+
+// Karimi1 and Karimi2 return the graph-code decoder rates of Karimi et
+// al. (1.72 and 1.515 × k·ln(n/k)) — the prior state of the art the
+// MN-Algorithm is compared against.
+func Karimi1(n, k int) float64 { return 1.72 * float64(k) * math.Log(float64(n)/float64(k)) }
+
+// Karimi2 returns the improved 1.515·k·ln(n/k) rate.
+func Karimi2(n, k int) float64 { return 1.515 * float64(k) * math.Log(float64(n)/float64(k)) }
+
+// FiniteSizeFactor returns the multiplicative finite-n correction of the
+// §V remark: the MN-Algorithm needs at least
+//
+//	1 + √(2 ln n)·(4(1−e^{−1/2})·m·k)^{−1/2}
+//
+// times the asymptotic query count. m is the asymptotic count the factor
+// corrects.
+func FiniteSizeFactor(n, k int, m float64) float64 {
+	if m <= 0 || k < 1 {
+		return 1
+	}
+	return 1 + math.Sqrt(2*math.Log(float64(n)))/math.Sqrt(4*GammaConst*m*float64(k))
+}
+
+// MNFiniteSize returns the finite-n-corrected MN threshold: the fixed
+// point of m = m_MN·FiniteSizeFactor(n,k,m), iterated to convergence.
+func MNFiniteSize(n, k int) float64 {
+	m := MN(n, k)
+	if math.IsInf(m, 1) {
+		return m
+	}
+	for iter := 0; iter < 64; iter++ {
+		next := MN(n, k) * FiniteSizeFactor(n, k, m)
+		if math.Abs(next-m) < 1e-9*m {
+			return next
+		}
+		m = next
+	}
+	return m
+}
+
+// Entropy returns the natural-log binary entropy H(p) with the convention
+// 0·ln 0 = 0.
+func Entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}

@@ -1,0 +1,269 @@
+package thresholds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThetaRoundTrip(t *testing.T) {
+	n := 100000
+	for _, theta := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		k := KFromTheta(n, theta)
+		got := Theta(n, k)
+		if math.Abs(got-theta) > 0.02 {
+			t.Fatalf("Theta(KFromTheta(%v)) = %v", theta, got)
+		}
+	}
+}
+
+func TestThetaDegenerate(t *testing.T) {
+	if !math.IsNaN(Theta(1, 1)) || !math.IsNaN(Theta(100, 0)) {
+		t.Fatal("degenerate Theta should be NaN")
+	}
+}
+
+func TestKFromThetaClamps(t *testing.T) {
+	if KFromTheta(10, -5) != 1 {
+		t.Fatal("KFromTheta should clamp to 1")
+	}
+	if KFromTheta(10, 2) != 10 {
+		t.Fatal("KFromTheta should clamp to n")
+	}
+}
+
+func TestMNFormulaValue(t *testing.T) {
+	// Hand-computed: n = 10^4, θ = 0.3 ⇒ k = 16, ln(n/k) = ln 625.
+	n := 10000
+	k := KFromTheta(n, 0.3)
+	if k != 16 {
+		t.Fatalf("k = %d, want 16", k)
+	}
+	th := Theta(n, k)
+	s := math.Sqrt(th)
+	want := 4 * GammaConst * (1 + s) / (1 - s) * 16 * math.Log(625)
+	if got := MN(n, k); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MN = %v, want %v", got, want)
+	}
+	// For the paper's HIV example the threshold is a few hundred queries.
+	if got := MN(n, k); got < 200 || got > 1000 {
+		t.Fatalf("MN(10^4, 16) = %v outside plausible range", got)
+	}
+}
+
+func TestMNDivergesAsThetaTo1(t *testing.T) {
+	n := 1 << 20
+	mLow := MN(n, KFromTheta(n, 0.2))
+	mHigh := MN(n, KFromTheta(n, 0.9))
+	if mHigh/float64(KFromTheta(n, 0.9)) <= mLow/float64(KFromTheta(n, 0.2))/10 {
+		t.Fatal("per-one-entry cost should explode as θ→1")
+	}
+	if !math.IsInf(MN(10, 10), 1) {
+		t.Fatal("θ = 1 should give +Inf")
+	}
+}
+
+func TestBPDParaVsSeqFactorTwo(t *testing.T) {
+	n, k := 100000, 100
+	if math.Abs(BPDPara(n, k)-2*BPDSeq(n, k)) > 1e-9 {
+		t.Fatal("parallel threshold must be exactly twice the counting bound")
+	}
+	// Closed form 2(1-θ)/θ·k.
+	th := Theta(n, k)
+	want := 2 * (1 - th) / th * float64(k)
+	if math.Abs(BPDPara(n, k)-want) > 1e-6*want {
+		t.Fatalf("BPDPara = %v, want %v", BPDPara(n, k), want)
+	}
+}
+
+func TestAlgorithmOrdering(t *testing.T) {
+	// For small θ the ordering of the related-work thresholds must hold:
+	// GT < Karimi2 < Karimi1 < DonohoTanner ≤ BasisPursuit, and the
+	// information-theoretic bound is below all of them.
+	n := 1000000
+	k := KFromTheta(n, 0.3)
+	gt, k2, k1 := GT(n, k), Karimi2(n, k), Karimi1(n, k)
+	dt, bp := DonohoTanner(n, k), BasisPursuit(n, k)
+	para := BPDPara(n, k)
+	if !(gt < k2 && k2 < k1 && k1 < dt && dt < bp) {
+		t.Fatalf("ordering broken: gt=%v k2=%v k1=%v dt=%v bp=%v", gt, k2, k1, dt, bp)
+	}
+	if para >= gt {
+		t.Fatalf("info-theoretic bound %v should undercut GT %v at θ=0.3", para, gt)
+	}
+}
+
+func TestMNvsKarimiCrossover(t *testing.T) {
+	// §I.C: the MN threshold matches the performance guarantees of Karimi
+	// et al. in order of magnitude; for small θ the constant
+	// 4γ(1+√θ)/(1−√θ) starts near 1.57 (below 1.72) and exceeds it as θ
+	// grows — the crossover the discussion alludes to.
+	n := 1 << 30
+	small := KFromTheta(n, 0.01)
+	if MN(n, small) > Karimi1(n, small) {
+		t.Fatal("for tiny θ, MN should beat Karimi's 1.72 rate")
+	}
+	big := KFromTheta(n, 0.5)
+	if MN(n, big) < Karimi1(n, big) {
+		t.Fatal("for θ=0.5, MN's constant should exceed 1.72")
+	}
+}
+
+func TestGTThetaLimit(t *testing.T) {
+	want := math.Ln2 / (1 + math.Ln2)
+	if math.Abs(GTThetaLimit-want) > 1e-15 {
+		t.Fatalf("GTThetaLimit = %v, want %v", GTThetaLimit, want)
+	}
+}
+
+func TestFiniteSizeFactor(t *testing.T) {
+	n, k := 1000, KFromTheta(1000, 0.3)
+	m := MN(n, k)
+	f := FiniteSizeFactor(n, k, m)
+	if f <= 1 {
+		t.Fatalf("finite-size factor %v must exceed 1", f)
+	}
+	// The factor vanishes as n grows along fixed θ.
+	n2 := 1 << 26
+	k2 := KFromTheta(n2, 0.3)
+	f2 := FiniteSizeFactor(n2, k2, MN(n2, k2))
+	if f2 >= f {
+		t.Fatalf("finite-size factor should shrink with n: %v vs %v", f2, f)
+	}
+	if FiniteSizeFactor(100, 5, 0) != 1 {
+		t.Fatal("degenerate m should give factor 1")
+	}
+}
+
+func TestMNFiniteSizeFixedPoint(t *testing.T) {
+	n, k := 1000, 8
+	m := MNFiniteSize(n, k)
+	if m <= MN(n, k) {
+		t.Fatal("corrected threshold must exceed the asymptotic one")
+	}
+	// Fixed point property: m = MN·factor(m).
+	want := MN(n, k) * FiniteSizeFactor(n, k, m)
+	if math.Abs(m-want) > 1e-6*m {
+		t.Fatalf("fixed point violated: %v vs %v", m, want)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy(0) != 0 || Entropy(1) != 0 {
+		t.Fatal("H(0) and H(1) must be 0")
+	}
+	if math.Abs(Entropy(0.5)-math.Ln2) > 1e-15 {
+		t.Fatalf("H(1/2) = %v, want ln 2", Entropy(0.5))
+	}
+	if math.Abs(Entropy(0.3)-Entropy(0.7)) > 1e-15 {
+		t.Fatal("entropy must be symmetric")
+	}
+}
+
+func TestLogBinom(t *testing.T) {
+	if math.Abs(logBinom(5, 2)-math.Log(10)) > 1e-12 {
+		t.Fatalf("logBinom(5,2) = %v, want ln 10", logBinom(5, 2))
+	}
+	if !math.IsInf(logBinom(3, 5), -1) {
+		t.Fatal("logBinom out of range should be -Inf")
+	}
+}
+
+func TestFirstMomentPhaseTransition(t *testing.T) {
+	// Theorem 2 numerically: the max of f_{n,k} over the small-overlap
+	// range is negative for c > 2 and positive for c < 2.
+	for _, theta := range []float64{0.2, 0.4, 0.6} {
+		n := 1 << 24
+		k := KFromTheta(n, theta)
+		if v := MaxRateF(n, k, 2.6); v >= 0 {
+			t.Fatalf("θ=%v: rate %v at c=2.6 should be negative", theta, v)
+		}
+		if v := MaxRateF(n, k, 1.0); v <= 0 {
+			t.Fatalf("θ=%v: rate %v at c=1.0 should be positive", theta, v)
+		}
+	}
+}
+
+func TestCriticalCNearTwo(t *testing.T) {
+	// The numeric critical c approaches 2 as n grows (2 + o(1)).
+	n := 1 << 26
+	k := KFromTheta(n, 0.4)
+	c := CriticalC(n, k)
+	if math.Abs(c-2) > 0.35 {
+		t.Fatalf("critical c = %v, want ≈ 2", c)
+	}
+}
+
+func TestLogExpectedZMonotoneInM(t *testing.T) {
+	// More queries can only shrink the expected number of impostors.
+	n, k := 100000, 316 // θ ≈ 0.5
+	ell := k / 10
+	prev := math.Inf(1)
+	for _, m := range []int{500, 1000, 2000, 4000} {
+		v := LogExpectedZ(n, k, m, ell)
+		if v >= prev {
+			t.Fatalf("LogExpectedZ not decreasing in m at m=%d: %v >= %v", m, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLogExpectedZSignChange(t *testing.T) {
+	// Below the threshold impostors abound; above they vanish (in the
+	// annealed count) — check at a representative overlap.
+	n, k := 100000, 316
+	ell := int(float64(k) * float64(k) / float64(n)) // the maximizing scale
+	mLow := int(MFromC(n, k, 0.5))
+	mHigh := int(MFromC(n, k, 4))
+	if LogExpectedZ(n, k, mLow, ell) <= 0 {
+		t.Fatal("far below threshold the annealed impostor count should be exponentially large")
+	}
+	if LogExpectedZ(n, k, mHigh, ell) >= 0 {
+		t.Fatal("far above threshold the annealed impostor count should vanish")
+	}
+}
+
+func TestLogExpectedZFullOverlap(t *testing.T) {
+	if !math.IsInf(LogExpectedZ(1000, 10, 100, 10), -1) {
+		t.Fatal("ℓ = k must be excluded (no impostor)")
+	}
+}
+
+func TestMFromCInvertsBPDPara(t *testing.T) {
+	n, k := 50000, 50
+	if math.Abs(MFromC(n, k, 2)-BPDPara(n, k)) > 1e-9 {
+		t.Fatal("c = 2 must reproduce the parallel threshold")
+	}
+}
+
+func TestCountingBoundExactVsAsymptotic(t *testing.T) {
+	// Sparse regime: the exact counting bound approaches k·ln(n/k)/ln k.
+	n := 1 << 22
+	k := KFromTheta(n, 0.3)
+	exact := CountingBoundSeq(n, k)
+	asym := BPDSeq(n, k)
+	if ratio := exact / asym; ratio < 0.9 || ratio > 1.3 {
+		t.Fatalf("exact/asymptotic counting bound ratio %v", ratio)
+	}
+	if CountingBoundPara(n, k) != 2*exact {
+		t.Fatal("parallel counting bound must double the sequential one")
+	}
+}
+
+func TestCountingBoundDenseRegime(t *testing.T) {
+	// Dense regime k = n/4: the bound is Θ(n/ln n) — sublinear — where
+	// the sparse formula would be meaningless.
+	n := 100000
+	k := n / 4
+	exact := CountingBoundSeq(n, k)
+	// n·H(1/4)/ln(n/4+1) to within rounding.
+	want := float64(n) * Entropy(0.25) / math.Log(float64(k)+1)
+	if math.Abs(exact-want)/want > 0.01 {
+		t.Fatalf("dense counting bound %v, want ≈ %v", exact, want)
+	}
+	if exact >= float64(n) {
+		t.Fatal("dense counting bound must be sublinear")
+	}
+	if CountingBoundSeq(10, 0) != 0 || CountingBoundSeq(0, 1) != 0 {
+		t.Fatal("degenerate counting bound should be 0")
+	}
+}

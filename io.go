@@ -1,0 +1,73 @@
+package pooled
+
+import (
+	"io"
+
+	"pooleddata/internal/adaptive"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/labio"
+)
+
+// This file holds the public I/O surface: design/result serialization for
+// driving a real measurement campaign, and the adaptive (sequential)
+// reconstruction mode for comparison with the paper's one-round design.
+
+// WriteDesignCSV emits the scheme's pooling design in the labio CSV
+// format. A pipetting robot (or any external measurement pipeline)
+// consumes this file; the counts come back via ReadCountsCSV.
+func (s *Scheme) WriteDesignCSV(w io.Writer) error {
+	return labio.WriteDesign(w, s.g)
+}
+
+// WriteCountsCSV emits measured counts in the labio CSV format.
+func WriteCountsCSV(w io.Writer, y []int64) error {
+	return labio.WriteCounts(w, y)
+}
+
+// ReadCountsCSV parses a results file produced by an external measurement
+// pipeline (or WriteCountsCSV).
+func ReadCountsCSV(r io.Reader) ([]int64, error) {
+	return labio.ReadCounts(r)
+}
+
+// LoadDesignCSV reconstructs a Scheme from a design file written by
+// WriteDesignCSV, so decoding can run in a different process (or on a
+// different machine) than design generation.
+func LoadDesignCSV(r io.Reader) (*Scheme, error) {
+	g, err := labio.ReadDesign(r)
+	if err != nil {
+		return nil, err
+	}
+	return newSchemeFromGraph(g), nil
+}
+
+// newSchemeFromGraph wraps a prebuilt graph.
+func newSchemeFromGraph(g *graph.Bipartite) *Scheme {
+	return &Scheme{n: g.N(), m: g.M(), g: g}
+}
+
+// AdaptiveResult reports a sequential reconstruction (see
+// ReconstructAdaptive).
+type AdaptiveResult struct {
+	// Support is the recovered one-entry index set, ascending.
+	Support []int
+	// Queries is the number of pooled measurements issued.
+	Queries int
+	// Rounds is the adaptive depth — the number of dependent measurement
+	// rounds a lab would need. The paper's design always uses 1.
+	Rounds int
+}
+
+// ReconstructAdaptive recovers a binary signal of length n with adaptive
+// interval bisection, interacting with the signal only through oracle
+// (which returns the number of one-entries among the given indices). It
+// uses Θ(k·log(n/k)) queries over Θ(log n) dependent rounds — fewer
+// queries than the parallel design, but many more rounds; the trade-off
+// the paper's introduction frames.
+func ReconstructAdaptive(n int, oracle func(indices []int) int64) (AdaptiveResult, error) {
+	res, err := adaptive.Reconstruct(n, adaptive.CountOracle(oracle))
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	return AdaptiveResult{Support: res.Support, Queries: res.Queries, Rounds: res.Rounds}, nil
+}

@@ -1,0 +1,88 @@
+package pooled
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDesignCSVRoundTripThroughPublicAPI(t *testing.T) {
+	n, k := 800, 6
+	m := RecommendedQueries(n, k) * 6 / 5
+	scheme, err := New(n, m, Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signal := makeSignal(n, k, 22)
+	y := scheme.Measure(signal)
+
+	// Ship design and results through the file formats.
+	var design, counts bytes.Buffer
+	if err := scheme.WriteDesignCSV(&design); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCountsCSV(&counts, y); err != nil {
+		t.Fatal(err)
+	}
+
+	// A separate process loads both and decodes.
+	loaded, err := LoadDesignCSV(&design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != n || loaded.M() != m {
+		t.Fatalf("loaded scheme shape %d/%d", loaded.N(), loaded.M())
+	}
+	y2, err := ReadCountsCSV(&counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Reconstruct(y2, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(got, supportOf(signal)) {
+		t.Fatal("decode after file round trip failed")
+	}
+	if !loaded.Consistent(got, y2) {
+		t.Fatal("consistency check failed on loaded scheme")
+	}
+}
+
+func TestLoadDesignCSVRejectsGarbage(t *testing.T) {
+	if _, err := LoadDesignCSV(bytes.NewReader([]byte("not,a,design\n"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReconstructAdaptivePublicAPI(t *testing.T) {
+	n, k := 5000, 9
+	signal := makeSignal(n, k, 23)
+	oracle := func(indices []int) int64 {
+		var c int64
+		for _, i := range indices {
+			if signal[i] {
+				c++
+			}
+		}
+		return c
+	}
+	res, err := ReconstructAdaptive(n, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(res.Support, supportOf(signal)) {
+		t.Fatal("adaptive reconstruction wrong")
+	}
+	if res.Rounds <= 1 {
+		t.Fatal("adaptive reconstruction must use multiple rounds")
+	}
+	// Query count beats the parallel threshold (the trade-off the paper
+	// frames: fewer queries, more rounds).
+	if float64(res.Queries) >= float64(RecommendedQueries(n, k)) {
+		t.Fatalf("adaptive used %d queries, parallel recommendation is %d",
+			res.Queries, RecommendedQueries(n, k))
+	}
+	if _, err := ReconstructAdaptive(-1, oracle); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package pooled reconstructs sparse binary signals from pooled additive
+// measurements — a Go implementation of "On the Parallel Reconstruction
+// from Pooled Data" (Gebhard, Hahn-Klimroth, Kaaser, Loick; IPDPS 2022).
+//
+// # The problem
+//
+// A hidden signal σ ∈ {0,1}^n with k = n^θ one-entries (infected probes,
+// defective items, active features) is observed only through pooled
+// queries: each query names a multiset of coordinates and returns the
+// exact number of one-entries it contains, counted with multiplicity. All
+// queries are chosen up front and executed in parallel — the regime of a
+// liquid-handling robot or a GPU batch, where one round of measurements
+// dominates the total running time.
+//
+// # Usage
+//
+// Build a Scheme for (n, m), obtain the pools, measure (for simulations,
+// Measure does it in-process), and reconstruct:
+//
+//	scheme, err := pooled.New(10000, 600, pooled.Options{Seed: 1})
+//	y := scheme.Measure(signal)              // or a real lab fills this in
+//	support, err := scheme.Reconstruct(y, k) // MN-Algorithm
+//
+// RecommendedQueries returns the query budget Theorem 1 asks for, with
+// the paper's finite-size correction applied.
+package pooled
+
+import (
+	"fmt"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/mn"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/thresholds"
+)
+
+// DesignKind selects the pooling design of a Scheme.
+type DesignKind int
+
+const (
+	// RandomRegular is the paper's design: every query draws Γ = n/2
+	// coordinates uniformly with replacement.
+	RandomRegular DesignKind = iota
+	// Bernoulli connects every (coordinate, query) pair independently
+	// with probability 1/2.
+	Bernoulli
+	// ConstantColumn gives every coordinate the same number of distinct
+	// queries.
+	ConstantColumn
+)
+
+// DecoderKind selects the reconstruction algorithm.
+type DecoderKind int
+
+const (
+	// MN is the paper's Maximum Neighborhood algorithm (the default).
+	MN DecoderKind = iota
+	// MNRefined is MN followed by residual-decreasing swap refinement.
+	MNRefined
+	// BeliefPropagation is a Gaussian-approximation message-passing
+	// decoder.
+	BeliefPropagation
+	// GreedyPeeling is an OMP-style residual peeling decoder.
+	GreedyPeeling
+	// ExhaustiveSearch enumerates all weight-k signals (tiny n only).
+	ExhaustiveSearch
+	// CompressedSensing is a box-constrained FISTA relaxation (the
+	// ℓ1/basis-pursuit family).
+	CompressedSensing
+)
+
+// Options configures a Scheme.
+type Options struct {
+	// Seed makes the design reproducible; two schemes with equal
+	// (n, m, Seed, Design) pool identically.
+	Seed uint64
+	// Design selects the pooling design; default RandomRegular.
+	Design DesignKind
+	// Workers bounds goroutine pools; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Scheme is a fixed non-adaptive pooling design over n coordinates with m
+// queries, plus the decoders that invert it. Safe for concurrent use
+// after construction.
+type Scheme struct {
+	n, m    int
+	g       *graph.Bipartite
+	seed    uint64
+	workers int
+}
+
+// New builds a pooling scheme with n coordinates and m parallel queries.
+func New(n, m int, opts Options) (*Scheme, error) {
+	var des pooling.Design
+	switch opts.Design {
+	case RandomRegular:
+		des = pooling.RandomRegular{}
+	case Bernoulli:
+		des = pooling.Bernoulli{}
+	case ConstantColumn:
+		des = pooling.ConstantColumn{}
+	default:
+		return nil, fmt.Errorf("pooled: unknown design kind %d", opts.Design)
+	}
+	g, err := des.Build(n, m, pooling.BuildOptions{Seed: opts.Seed, Parallelism: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{n: n, m: m, g: g, seed: opts.Seed, workers: opts.Workers}, nil
+}
+
+// N returns the signal length.
+func (s *Scheme) N() int { return s.n }
+
+// M returns the number of queries.
+func (s *Scheme) M() int { return s.m }
+
+// Pools returns the queries as explicit multisets of coordinates — what a
+// lab would hand to its pipetting robot. Pool j lists each coordinate as
+// many times as the design drew it.
+func (s *Scheme) Pools() [][]int {
+	out := make([][]int, s.m)
+	for j := 0; j < s.m; j++ {
+		ents, muls := s.g.QueryEntries(j)
+		pool := make([]int, 0, s.g.QuerySize(j))
+		for p, e := range ents {
+			for c := int32(0); c < muls[p]; c++ {
+				pool = append(pool, int(e))
+			}
+		}
+		out[j] = pool
+	}
+	return out
+}
+
+// Measure simulates the parallel measurement round: it returns the exact
+// pooled counts for the given signal. len(signal) must be n.
+func (s *Scheme) Measure(signal []bool) []int64 {
+	if len(signal) != s.n {
+		panic(fmt.Sprintf("pooled: signal length %d, want %d", len(signal), s.n))
+	}
+	sigma := bitvec.FromBools(signal)
+	return query.Execute(s.g, sigma, query.Options{Workers: s.workers, Seed: s.seed}).Y
+}
+
+// MeasureNoisy simulates measurements with additive rounded Gaussian
+// noise of standard deviation sigma on every count.
+func (s *Scheme) MeasureNoisy(signal []bool, sigma float64) []int64 {
+	if len(signal) != s.n {
+		panic(fmt.Sprintf("pooled: signal length %d, want %d", len(signal), s.n))
+	}
+	sv := bitvec.FromBools(signal)
+	return query.Execute(s.g, sv, query.Options{
+		Oracle: query.Noisy{Sigma: sigma}, Workers: s.workers, Seed: s.seed,
+	}).Y
+}
+
+// Reconstruct runs the MN-Algorithm on measured counts y and returns the
+// sorted support (indices of the estimated one-entries). k is the signal's
+// Hamming weight; if unknown, measure one extra pool containing every
+// coordinate once — its count is exactly k.
+func (s *Scheme) Reconstruct(y []int64, k int) ([]int, error) {
+	return s.ReconstructWith(y, k, MN)
+}
+
+// ReconstructWith is Reconstruct with an explicit decoder choice.
+func (s *Scheme) ReconstructWith(y []int64, k int, kind DecoderKind) ([]int, error) {
+	var dec decoder.Decoder
+	switch kind {
+	case MN:
+		dec = decoder.MN{Workers: s.workers}
+	case MNRefined:
+		dec = decoder.Refined{}
+	case BeliefPropagation:
+		dec = decoder.BP{}
+	case GreedyPeeling:
+		dec = decoder.Greedy{}
+	case ExhaustiveSearch:
+		dec = decoder.Exhaustive{}
+	case CompressedSensing:
+		dec = decoder.LP{}
+	default:
+		return nil, fmt.Errorf("pooled: unknown decoder kind %d", kind)
+	}
+	est, err := dec.Decode(s.g, y, k)
+	if err != nil {
+		return nil, err
+	}
+	return est.Support(), nil
+}
+
+// ReconstructApprox classifies coordinates by the threshold rule of the
+// paper's Corollary 6 instead of forcing exactly kHint ones: kHint is
+// used only to centralize the scores, so a lower bound on the true
+// weight suffices (the regime the paper highlights when k is not known
+// exactly). The returned support may have any size.
+func (s *Scheme) ReconstructApprox(y []int64, kHint int) ([]int, error) {
+	if len(y) != s.m {
+		return nil, fmt.Errorf("pooled: %d counts for %d queries", len(y), s.m)
+	}
+	if kHint < 0 || kHint > s.n {
+		return nil, fmt.Errorf("pooled: weight hint %d out of [0,%d]", kHint, s.n)
+	}
+	res := mn.ReconstructThreshold(s.g, y, kHint, mn.Options{Workers: s.workers})
+	return res.Estimate.Support(), nil
+}
+
+// Consistent reports whether a candidate support exactly reproduces the
+// measured counts.
+func (s *Scheme) Consistent(support []int, y []int64) bool {
+	if len(y) != s.m {
+		return false
+	}
+	return decoder.Consistent(s.g, bitvec.FromIndices(s.n, support), y)
+}
+
+// Plan describes the simulated execution of the measurement round on a
+// limited number of parallel processing units (the partially-parallel
+// regime discussed in the paper's conclusions).
+type Plan struct {
+	// Units is the number of processing units used (m when fully
+	// parallel).
+	Units int
+	// Rounds is the maximum number of queries any unit executes.
+	Rounds int
+	// Makespan is the completion time of the measurement round.
+	Makespan time.Duration
+	// SequentialTime is the single-unit completion time, for comparison.
+	SequentialTime time.Duration
+}
+
+// MeasurementPlan schedules the scheme's m queries onto L processing
+// units (L <= 0 means fully parallel), each query taking perQuery time,
+// and reports rounds and makespan. Reconstruction quality is unaffected
+// by L — only wall-clock time changes — which is the point of the
+// non-adaptive design.
+func (s *Scheme) MeasurementPlan(units int, perQuery time.Duration) Plan {
+	durations := make([]time.Duration, s.m)
+	for j := range durations {
+		durations[j] = perQuery
+	}
+	rounds, makespan, total := query.Schedule(durations, units)
+	u := units
+	if u <= 0 || u > s.m {
+		u = s.m
+	}
+	return Plan{Units: u, Rounds: rounds, Makespan: makespan, SequentialTime: total}
+}
+
+// RecommendedQueries returns a practical query budget for exact
+// reconstruction of a weight-k signal of length n with the MN-Algorithm:
+// Theorem 1's m_MN(n,θ) with the finite-size correction of §V, rounded
+// up.
+func RecommendedQueries(n, k int) int {
+	m := thresholds.MNFiniteSize(n, k)
+	return int(m + 0.999999)
+}
+
+// InformationLimit returns the information-theoretic threshold
+// m_para = 2k·ln(n/k)/ln k below which *no* decoder — efficient or not —
+// can reconstruct from parallel queries w.h.p. (Theorem 2 and its
+// converse).
+func InformationLimit(n, k int) float64 {
+	return thresholds.BPDPara(n, k)
+}
+
+// Theta returns the sparsity exponent θ = ln k/ln n of an instance.
+func Theta(n, k int) float64 { return thresholds.Theta(n, k) }
