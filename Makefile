@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-full race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast CI gate: -short skips the full figure sweeps, -race catches
+# concurrency bugs in the engine/scheme paths.
+test:
+	$(GO) test -short -race ./...
+
+# The full suite, including the slow sweeps (what the paper validation
+# runs).
+test-full:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark; sweeps are skipped by -short, the kernel
+# and engine micro-benchmarks still run.
+bench:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

@@ -12,6 +12,7 @@ package pooled
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -26,6 +27,16 @@ import (
 	"pooleddata/internal/thresholds"
 )
 
+// skipSweepIfShort keeps `go test -short -bench .` quick in CI: the
+// figure sweeps decode hundreds of instances per iteration, while the
+// micro-benchmarks below stay cheap enough to run everywhere.
+func skipSweepIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping figure sweep in -short mode")
+	}
+}
+
 // benchCfg is the scaled-down sweep configuration for benchmarks.
 func benchCfg(trials int, seed uint64) experiments.Config {
 	return experiments.Config{Trials: trials, Seed: seed}
@@ -34,6 +45,7 @@ func benchCfg(trials int, seed uint64) experiments.Config {
 // BenchmarkFig2RequiredQueries regenerates Fig. 2 (required m for exact
 // reconstruction vs n) on a reduced grid.
 func BenchmarkFig2RequiredQueries(b *testing.B) {
+	skipSweepIfShort(b)
 	ns := []int{100, 300, 1000}
 	var lastMean float64
 	for i := 0; i < b.N; i++ {
@@ -49,6 +61,7 @@ func BenchmarkFig2RequiredQueries(b *testing.B) {
 // BenchmarkFig3SuccessRate regenerates Fig. 3 (success rate vs m) at
 // n = 1000 on a reduced grid around the θ = 0.3 transition.
 func BenchmarkFig3SuccessRate(b *testing.B) {
+	skipSweepIfShort(b)
 	n := 1000
 	k := thresholds.KFromTheta(n, 0.3)
 	thr := thresholds.MN(n, k)
@@ -66,6 +79,7 @@ func BenchmarkFig3SuccessRate(b *testing.B) {
 
 // BenchmarkFig4Overlap regenerates Fig. 4 (overlap vs m) at n = 1000.
 func BenchmarkFig4Overlap(b *testing.B) {
+	skipSweepIfShort(b)
 	n := 1000
 	k := thresholds.KFromTheta(n, 0.3)
 	thr := thresholds.MN(n, k)
@@ -84,6 +98,7 @@ func BenchmarkFig4Overlap(b *testing.B) {
 // BenchmarkHeadlineClaim measures the §VI claim: ≈99% of one-entries
 // found at n=1000, θ=0.3, m=220.
 func BenchmarkHeadlineClaim(b *testing.B) {
+	skipSweepIfShort(b)
 	var overlap float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Headline(benchCfg(10, 99))
@@ -99,6 +114,7 @@ func BenchmarkHeadlineClaim(b *testing.B) {
 // probability across the information-theoretic threshold (the empirical
 // face of Theorem 2).
 func BenchmarkTheorem2Uniqueness(b *testing.B) {
+	skipSweepIfShort(b)
 	var hi float64
 	for i := 0; i < b.N; i++ {
 		s, err := experiments.InfoTheoretic(40, 4, []int{10, 60}, benchCfg(6, 31))
@@ -113,6 +129,7 @@ func BenchmarkTheorem2Uniqueness(b *testing.B) {
 // BenchmarkAblationDesigns compares the three pooling designs at a fixed
 // operating point (DESIGN.md ablation).
 func BenchmarkAblationDesigns(b *testing.B) {
+	skipSweepIfShort(b)
 	n, k := 500, 7
 	m := int(1.5 * thresholds.MN(n, k))
 	var regular float64
@@ -129,6 +146,7 @@ func BenchmarkAblationDesigns(b *testing.B) {
 // BenchmarkAblationDecoders compares the decoder zoo at a fixed operating
 // point between the two thresholds.
 func BenchmarkAblationDecoders(b *testing.B) {
+	skipSweepIfShort(b)
 	n, k := 400, 6
 	m := int(0.9 * thresholds.MN(n, k))
 	var mnRate float64
@@ -145,6 +163,7 @@ func BenchmarkAblationDecoders(b *testing.B) {
 // BenchmarkAblationPartialParallel measures the L-unit scheduling sweep
 // of the §VI open problem.
 func BenchmarkAblationPartialParallel(b *testing.B) {
+	skipSweepIfShort(b)
 	var speedup16 float64
 	for i := 0; i < b.N; i++ {
 		pts, err := experiments.PartialParallel(500, 7, 128, []int{1, 16, 0},
@@ -159,6 +178,7 @@ func BenchmarkAblationPartialParallel(b *testing.B) {
 
 // BenchmarkAblationNoise sweeps the noisy-oracle extension.
 func BenchmarkAblationNoise(b *testing.B) {
+	skipSweepIfShort(b)
 	n, k := 400, 6
 	m := int(1.5 * thresholds.MN(n, k))
 	var atSigma2 float64
@@ -174,6 +194,7 @@ func BenchmarkAblationNoise(b *testing.B) {
 
 // BenchmarkFiniteSizeCheck regenerates the §V finite-size remark series.
 func BenchmarkFiniteSizeCheck(b *testing.B) {
+	skipSweepIfShort(b)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.FiniteSizeCheck([]int{300, 1000}, 0.3, benchCfg(2, 37))
@@ -188,6 +209,7 @@ func BenchmarkFiniteSizeCheck(b *testing.B) {
 // BenchmarkAblationTradeoff measures the sequential-vs-parallel
 // comparison (adaptive bisection vs one-round MN vs individual testing).
 func BenchmarkAblationTradeoff(b *testing.B) {
+	skipSweepIfShort(b)
 	var adaptiveQueries float64
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.AdaptiveVsParallel(1000, 8, benchCfg(4, 41))
@@ -202,6 +224,7 @@ func BenchmarkAblationTradeoff(b *testing.B) {
 // BenchmarkAblationThresholdGT measures the binary group testing
 // extension sweep (§VI outlook, T = 1).
 func BenchmarkAblationThresholdGT(b *testing.B) {
+	skipSweepIfShort(b)
 	var compRate float64
 	for i := 0; i < b.N; i++ {
 		series, err := experiments.ThresholdGT(300, 5, 1, []int{200}, benchCfg(4, 43))
@@ -414,4 +437,62 @@ func BenchmarkEndToEnd(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOneDesignManySignals is the engine's reason to exist: B
+// signals measured and decoded against one n = 10^4 design. The naive
+// path is what callers did before the engine — B independent
+// pooled.New + Measure + Reconstruct round trips, rebuilding the Γ = n/2
+// design every time. The engine path builds the scheme once (cache), runs
+// one batched measurement pass, and pipelines the B decodes through the
+// worker pool.
+func BenchmarkOneDesignManySignals(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		m     = 600
+		batch = 32
+	)
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(99)
+	for s := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[s] = sig
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < batch; s++ {
+				scheme, err := New(n, m, Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				y := scheme.Measure(signals[s])
+				if _, err := scheme.Reconstruct(y, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := NewEngine(EngineOptions{})
+		defer eng.Close()
+		for i := 0; i < b.N; i++ {
+			scheme, err := eng.Scheme(n, m, Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ys := eng.MeasureBatch(scheme, signals)
+			results, err := eng.DecodeBatch(context.Background(), scheme, ys, k, MN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != batch {
+				b.Fatalf("got %d results", len(results))
+			}
+		}
+	})
 }

@@ -1,0 +1,63 @@
+// Command pooledd serves the reconstruction engine over HTTP: cached
+// pooling schemes, pipelined decodes, and engine counters. It is the
+// service form of the one-design/many-signals regime — a screening lab
+// posts one design up front, then streams plates of counts at it.
+//
+// Usage:
+//
+//	pooledd -addr :8080 -cache 16 -workers 8 -queue 64
+//
+// API (JSON unless noted; design/count payloads reuse the labio CSV
+// formats of WriteDesignCSV/WriteCountsCSV):
+//
+//	POST /v1/schemes              {"design":"random-regular","n":10000,"m":600,"seed":1}
+//	                              or a labio design CSV (Content-Type: text/csv)
+//	GET  /v1/schemes/{id}         scheme metadata
+//	GET  /v1/schemes/{id}/design  the design as labio CSV (for the robot)
+//	POST /v1/decode               {"scheme":"s1","k":16,"decoder":"mn","counts":[...]}
+//	                              or {"batch":[[...],[...]]} for pipelined decoding
+//	                              or a labio counts CSV with ?scheme=s1&k=16&decoder=mn
+//	GET  /v1/stats                engine counters (cache hits, dedup, queue/decode time)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"pooleddata/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 16, "scheme cache capacity (LRU)")
+	workers := flag.Int("workers", 0, "decode worker pool size (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "decode queue depth (0: 4x workers)")
+	maxSchemes := flag.Int("max-schemes", 64, "max registered scheme ids (oldest dropped beyond)")
+	maxBody := flag.Int64("max-body", 256<<20, "max request body bytes")
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		CacheCapacity: *cache,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+	})
+	defer eng.Close()
+
+	srv := newServer(eng)
+	srv.maxSchemes = *maxSchemes
+	srv.maxBody = *maxBody
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(os.Stderr, "pooledd: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+		os.Exit(1)
+	}
+}

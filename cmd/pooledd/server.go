@@ -1,0 +1,326 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pooleddata/internal/engine"
+	"pooleddata/internal/labio"
+)
+
+// server is the HTTP front-end over the reconstruction engine. Scheme
+// payloads and count payloads reuse the labio CSV wire formats, so a
+// design written by WriteDesignCSV uploads unchanged and a robot's
+// results file posts straight to /v1/decode.
+type server struct {
+	eng   *engine.Engine
+	start time.Time
+
+	// maxSchemes bounds the id registry: beyond it the oldest entries are
+	// dropped (their ids start returning 404), so uploaded ad-hoc designs
+	// and churned specs cannot pin memory forever. maxBody bounds request
+	// bodies.
+	maxSchemes int
+	maxBody    int64
+
+	mu      sync.Mutex
+	schemes map[string]*schemeEntry
+	order   []string // registration order, oldest first
+	bySpec  map[engine.Spec]string
+	nextID  int
+}
+
+type schemeEntry struct {
+	ID     string `json:"id"`
+	Design string `json:"design"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Seed   uint64 `json:"seed"`
+	AdHoc  bool   `json:"ad_hoc,omitempty"`
+
+	scheme *engine.Scheme
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{
+		eng:        eng,
+		start:      time.Now(),
+		maxSchemes: 64,
+		maxBody:    256 << 20,
+		schemes:    make(map[string]*schemeEntry),
+		bySpec:     make(map[engine.Spec]string),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schemes", s.handleCreateScheme)
+	mux.HandleFunc("GET /v1/schemes/{id}", s.handleGetScheme)
+	mux.HandleFunc("GET /v1/schemes/{id}/design", s.handleGetDesign)
+	mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// schemeRequest is the JSON body of POST /v1/schemes.
+type schemeRequest struct {
+	Design string  `json:"design"` // random-regular | bernoulli | constant-column
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	Seed   uint64  `json:"seed"`
+	Gamma  int     `json:"gamma,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	D      int     `json:"d,omitempty"`
+}
+
+// handleCreateScheme builds (or fetches from cache) a pooling scheme.
+// JSON bodies describe a design by parameters; text/csv bodies upload an
+// explicit design in the labio format (the WriteDesignCSV output).
+func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "text/csv") {
+		g, err := labio.ReadDesign(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parse design csv: %v", err)
+			return
+		}
+		es := s.eng.SchemeFromGraph(g)
+		ent := s.register(es, "uploaded", g.N(), g.M(), 0, true)
+		writeJSON(w, http.StatusCreated, ent)
+		return
+	}
+	var req schemeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	if req.N <= 0 || req.M < 0 {
+		httpError(w, http.StatusBadRequest, "invalid size n=%d m=%d", req.N, req.M)
+		return
+	}
+	des, err := engine.DesignByName(req.Design, engine.DesignParams{Gamma: req.Gamma, P: req.P, D: req.D})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	es, err := s.eng.Scheme(des, req.N, req.M, req.Seed)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "build scheme: %v", err)
+		return
+	}
+	ent := s.register(es, des.Name(), req.N, req.M, req.Seed, false)
+	writeJSON(w, http.StatusCreated, ent)
+}
+
+// register assigns (or reuses) the entry for a scheme. Cached schemes are
+// deduplicated by spec so repeated POSTs return the same id.
+func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint64, adhoc bool) *schemeEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !adhoc {
+		if id, ok := s.bySpec[es.Spec]; ok {
+			return s.schemes[id]
+		}
+	}
+	s.nextID++
+	ent := &schemeEntry{
+		ID:     fmt.Sprintf("s%d", s.nextID),
+		Design: design, N: n, M: m, Seed: seed, AdHoc: adhoc,
+		scheme: es,
+	}
+	s.schemes[ent.ID] = ent
+	s.order = append(s.order, ent.ID)
+	if !adhoc {
+		s.bySpec[es.Spec] = ent.ID
+	}
+	for len(s.schemes) > s.maxSchemes {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if old, ok := s.schemes[oldest]; ok {
+			delete(s.schemes, oldest)
+			if !old.AdHoc {
+				delete(s.bySpec, old.scheme.Spec)
+			}
+		}
+	}
+	return ent
+}
+
+func (s *server) lookup(id string) (*schemeEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.schemes[id]
+	return ent, ok
+}
+
+func (s *server) handleGetScheme(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown scheme %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ent)
+}
+
+// handleGetDesign streams the scheme's pooling design as a labio CSV file
+// — the payload a pipetting robot (or LoadDesignCSV) consumes.
+func (s *server) handleGetDesign(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown scheme %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	if err := labio.WriteDesign(w, ent.scheme.G); err != nil {
+		// Headers are gone; nothing to do but log-by-status.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// decodeRequest is the JSON body of POST /v1/decode. Exactly one of
+// Counts (single job) or Batch (pipelined jobs) must be set.
+type decodeRequest struct {
+	Scheme  string    `json:"scheme"`
+	K       int       `json:"k"`
+	Decoder string    `json:"decoder,omitempty"`
+	Counts  []int64   `json:"counts,omitempty"`
+	Batch   [][]int64 `json:"batch,omitempty"`
+}
+
+// decodeResponse mirrors engine.Result on the wire.
+type decodeResponse struct {
+	Support    []int `json:"support"`
+	Residual   int64 `json:"residual"`
+	Consistent bool  `json:"consistent"`
+	QueueNS    int64 `json:"queue_ns"`
+	DecodeNS   int64 `json:"decode_ns"`
+}
+
+func toResponse(res engine.Result) decodeResponse {
+	return decodeResponse{
+		Support:    res.Support,
+		Residual:   res.Stats.Residual,
+		Consistent: res.Stats.Consistent,
+		QueueNS:    int64(res.Stats.QueueWait),
+		DecodeNS:   int64(res.Stats.DecodeTime),
+	}
+}
+
+// handleDecode runs reconstructions through the engine pipeline. JSON
+// bodies carry counts inline; text/csv bodies are labio results files
+// (the WriteCountsCSV output) with scheme/k/decoder in query parameters.
+func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	var req decodeRequest
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
+		y, err := labio.ReadCounts(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parse counts csv: %v", err)
+			return
+		}
+		req.Scheme = r.URL.Query().Get("scheme")
+		req.Decoder = r.URL.Query().Get("decoder")
+		k, err := strconv.Atoi(r.URL.Query().Get("k"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad k parameter: %v", err)
+			return
+		}
+		req.K = k
+		req.Counts = y
+	} else if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+
+	ent, ok := s.lookup(req.Scheme)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
+		return
+	}
+	dec, err := engine.DecoderByName(req.Decoder)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	switch {
+	case req.Counts != nil && req.Batch != nil:
+		httpError(w, http.StatusBadRequest, "set either counts or batch, not both")
+	case req.Counts != nil:
+		res, err := s.eng.Decode(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Dec: dec})
+		if err != nil {
+			httpError(w, decodeStatus(err), "decode: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(res))
+	case req.Batch != nil:
+		results, err := s.eng.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Dec: dec})
+		if err != nil {
+			httpError(w, decodeStatus(err), "decode batch: %v", err)
+			return
+		}
+		out := make([]decodeResponse, len(results))
+		for i, res := range results {
+			out[i] = toResponse(res)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	default:
+		httpError(w, http.StatusBadRequest, "no counts in request")
+	}
+}
+
+// decodeStatus maps pipeline errors to HTTP statuses.
+func decodeStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// statsResponse is the body of GET /v1/stats: the engine counters (their
+// snake_case json tags) plus server-level fields.
+type statsResponse struct {
+	engine.Stats
+	Schemes  int     `json:"schemes"`
+	UptimeNS int64   `json:"uptime_ns"`
+	AvgQueue float64 `json:"avg_queue_ms"`
+	AvgDec   float64 `json:"avg_decode_ms"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	s.mu.Lock()
+	n := len(s.schemes)
+	s.mu.Unlock()
+	resp := statsResponse{Stats: st, Schemes: n, UptimeNS: int64(time.Since(s.start))}
+	if st.JobsCompleted > 0 {
+		resp.AvgQueue = float64(st.TotalQueueWait.Milliseconds()) / float64(st.JobsCompleted)
+		resp.AvgDec = float64(st.TotalDecodeTime.Milliseconds()) / float64(st.JobsCompleted)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

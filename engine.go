@@ -1,0 +1,195 @@
+package pooled
+
+import (
+	"context"
+	"time"
+
+	"pooleddata/internal/engine"
+)
+
+// This file is the public face of the reconstruction engine
+// (internal/engine): a scheme cache plus a batched decode pipeline, the
+// one-design/many-signals regime a screening lab or feature-selection
+// service runs. cmd/pooledd serves exactly this API over HTTP.
+
+// EngineOptions sizes an Engine.
+type EngineOptions struct {
+	// CacheCapacity is the maximum number of cached schemes; 0 means 8.
+	CacheCapacity int
+	// Workers is the decode worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending decode queue; 0 means 4·Workers.
+	QueueDepth int
+}
+
+// EngineStats is a snapshot of an Engine's counters.
+type EngineStats struct {
+	// Scheme cache: builds executed, requests served from cache, requests
+	// that joined an in-flight build instead of rebuilding, LRU evictions.
+	SchemesBuilt  uint64
+	CacheHits     uint64
+	BuildsDeduped uint64
+	Evictions     uint64
+
+	// Decode pipeline.
+	JobsSubmitted uint64
+	JobsCompleted uint64
+	JobsFailed    uint64
+	JobsCanceled  uint64
+	Consistent    uint64
+
+	// Signals evaluated through the batched measurement path.
+	SignalsMeasured uint64
+
+	// Cumulative queue wait and decode time over completed jobs.
+	TotalQueueWait  time.Duration
+	TotalDecodeTime time.Duration
+}
+
+// DecodeResult is one pipelined reconstruction plus its per-job stats.
+type DecodeResult struct {
+	// Support is the recovered one-entry index set, ascending.
+	Support []int
+	// QueueWait is how long the job sat in the queue before a worker
+	// picked it up.
+	QueueWait time.Duration
+	// DecodeTime is the time spent inside the decoder.
+	DecodeTime time.Duration
+	// Residual is the L1 misfit of the estimate against the counts.
+	Residual int64
+	// Consistent reports whether the estimate reproduces the counts
+	// exactly.
+	Consistent bool
+}
+
+// Engine amortizes design construction across requests (an LRU scheme
+// cache with build deduplication) and pipelines decode jobs through a
+// bounded worker pool. Safe for concurrent use; release the workers with
+// Close when done.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine starts an engine.
+func NewEngine(opts EngineOptions) *Engine {
+	return &Engine{inner: engine.New(engine.Config{
+		CacheCapacity: opts.CacheCapacity,
+		Workers:       opts.Workers,
+		QueueDepth:    opts.QueueDepth,
+	})}
+}
+
+// Close drains the decode queue and stops the workers.
+func (e *Engine) Close() { e.inner.Close() }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() EngineStats {
+	st := e.inner.Stats()
+	return EngineStats{
+		SchemesBuilt:    st.SchemesBuilt,
+		CacheHits:       st.CacheHits,
+		BuildsDeduped:   st.BuildsDeduped,
+		Evictions:       st.Evictions,
+		JobsSubmitted:   st.JobsSubmitted,
+		JobsCompleted:   st.JobsCompleted,
+		JobsFailed:      st.JobsFailed,
+		JobsCanceled:    st.JobsCanceled,
+		Consistent:      st.Consistent,
+		SignalsMeasured: st.SignalsMeasured,
+		TotalQueueWait:  st.TotalQueueWait,
+		TotalDecodeTime: st.TotalDecodeTime,
+	}
+}
+
+// Scheme returns the cached scheme for (n, m, opts), building it at most
+// once: concurrent callers for the same (design, n, m, seed) share a
+// single pooling build, and repeated calls return the identical *Scheme.
+func (e *Engine) Scheme(n, m int, opts Options) (*Scheme, error) {
+	des, err := designFor(opts.Design)
+	if err != nil {
+		return nil, err
+	}
+	es, err := e.inner.Scheme(des, n, m, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := schemeFromEngine(es, opts.Workers)
+	if s.workers != opts.Workers {
+		// The cached wrapper carries the first caller's worker preference.
+		// A caller asking for a different one gets its own thin wrapper
+		// around the same shared graph and engine scheme.
+		return newWrapper(es, opts.Workers), nil
+	}
+	return s, nil
+}
+
+// newWrapper builds a public Scheme over a cached engine scheme.
+func newWrapper(es *engine.Scheme, workers int) *Scheme {
+	s := &Scheme{n: es.G.N(), m: es.G.M(), g: es.G, seed: es.Spec.Seed, workers: workers, es: es}
+	s.esOnce.Do(func() {}) // es is already set; spend the Once
+	return s
+}
+
+// schemeFromEngine wraps a cached engine scheme exactly once: the wrapper
+// is stored on the scheme itself, so cache hits stay pointer-identical
+// across the public API and the wrapper dies with the cached scheme.
+func schemeFromEngine(es *engine.Scheme, workers int) *Scheme {
+	return es.Ext(func() any { return newWrapper(es, workers) }).(*Scheme)
+}
+
+// engineScheme returns the engine-side view of s, wrapping ad-hoc schemes
+// (pooled.New, LoadDesignCSV) on first use.
+func (s *Scheme) engineScheme() *engine.Scheme {
+	s.esOnce.Do(func() {
+		if s.es == nil {
+			s.es = &engine.Scheme{G: s.g}
+		}
+	})
+	return s.es
+}
+
+// Decode runs one reconstruction through the engine's worker pool and
+// reports the per-job pipeline stats alongside the support.
+func (e *Engine) Decode(ctx context.Context, s *Scheme, y []int64, k int, kind DecoderKind) (DecodeResult, error) {
+	dec, err := decoderFor(kind, s.workers)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	res, err := e.inner.Decode(ctx, engine.Job{Scheme: s.engineScheme(), Y: y, K: k, Dec: dec})
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	return fromEngineResult(res), nil
+}
+
+// DecodeBatch pipelines one decode per count vector through the worker
+// pool — the batched counterpart of ReconstructWith. Results are in input
+// order; the first error is returned after all jobs settle.
+func (e *Engine) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int, kind DecoderKind) ([]DecodeResult, error) {
+	dec, err := decoderFor(kind, s.workers)
+	if err != nil {
+		return nil, err
+	}
+	results, err := e.inner.DecodeBatch(ctx, s.engineScheme(), ys, k, engine.Job{Dec: dec})
+	out := make([]DecodeResult, len(results))
+	for i, r := range results {
+		out[i] = fromEngineResult(r)
+	}
+	return out, err
+}
+
+// MeasureBatch is Scheme.MeasureBatch routed through the engine so the
+// batch shows up in its counters.
+func (e *Engine) MeasureBatch(s *Scheme, signals [][]bool) [][]int64 {
+	return e.inner.MeasureBatch(s.engineScheme(), s.batchVectors(signals))
+}
+
+func fromEngineResult(r engine.Result) DecodeResult {
+	return DecodeResult{
+		Support:    r.Support,
+		QueueWait:  r.Stats.QueueWait,
+		DecodeTime: r.Stats.DecodeTime,
+		Residual:   r.Stats.Residual,
+		Consistent: r.Stats.Consistent,
+	}
+}

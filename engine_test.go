@@ -1,0 +1,94 @@
+package pooled
+
+import (
+	"context"
+	"testing"
+
+	"pooleddata/internal/rng"
+)
+
+func TestEngineDecodeAndStats(t *testing.T) {
+	eng := NewEngine(EngineOptions{CacheCapacity: 4, Workers: 2})
+	defer eng.Close()
+
+	n, k, m := 500, 7, 380
+	scheme, err := eng.Scheme(n, m, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pointer-identical on a public cache hit.
+	again, err := eng.Scheme(n, m, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != scheme {
+		t.Fatal("public cache hit returned a different *Scheme")
+	}
+
+	const batch = 5
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(31)
+	for b := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[b] = sig
+	}
+	ys := eng.MeasureBatch(scheme, signals)
+	for b := range signals {
+		want := scheme.Measure(signals[b])
+		for j := range want {
+			if ys[b][j] != want[j] {
+				t.Fatalf("engine MeasureBatch diverged from Measure at signal %d query %d", b, j)
+			}
+		}
+	}
+
+	results, err := eng.DecodeBatch(context.Background(), scheme, ys, k, MN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, res := range results {
+		want, err := scheme.Reconstruct(ys[b], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(res.Support, want) {
+			t.Fatalf("batched decode %d differs from Reconstruct", b)
+		}
+		if !res.Consistent || res.Residual != 0 {
+			t.Fatalf("decode %d: residual=%d consistent=%v", b, res.Residual, res.Consistent)
+		}
+	}
+
+	st := eng.Stats()
+	if st.SchemesBuilt != 1 || st.CacheHits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 build and 1 hit", st)
+	}
+	if st.JobsCompleted != batch || st.Consistent != batch {
+		t.Fatalf("pipeline stats = %+v, want %d completed consistent jobs", st, batch)
+	}
+	if st.SignalsMeasured != batch {
+		t.Fatalf("signals measured = %d, want %d", st.SignalsMeasured, batch)
+	}
+
+	// Decoding through the engine also works for schemes built without it.
+	adhoc, err := New(200, 150, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make([]bool, 200)
+	for _, i := range rng.NewRandSeeded(6).SampleK(200, 4) {
+		sig[i] = true
+	}
+	y := adhoc.Measure(sig)
+	res, err := eng.Decode(context.Background(), adhoc, y, 4, MN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := adhoc.Reconstruct(y, 4)
+	if !equalInts(res.Support, want) {
+		t.Fatal("engine decode of ad-hoc scheme differs from Reconstruct")
+	}
+}

@@ -1,0 +1,3 @@
+module pooleddata
+
+go 1.22

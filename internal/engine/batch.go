@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"context"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/query"
+)
+
+// MeasureBatch evaluates every signal against the scheme's design in a
+// single pass over the pooling matrix, amortizing the Γm edge traversal
+// across the batch (the one-design/many-signals regime of a screening
+// campaign). Row b of the result is the exact count vector of signal b.
+func (e *Engine) MeasureBatch(s *Scheme, signals []*bitvec.Vector) [][]int64 {
+	ys := query.ExecuteBatch(s.G, signals, e.workerCount())
+	e.stats.signalsMeasured.Add(uint64(len(signals)))
+	return ys
+}
+
+// DecodeBatch pipelines one decode job per count vector through the
+// worker pool and waits for all of them. Results are in input order; the
+// first decode error (or ctx error) is returned after every submitted job
+// has settled, alongside the partial results (failed slots are zero).
+func (e *Engine) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int, job Job) ([]Result, error) {
+	futs := make([]*Future, len(ys))
+	results := make([]Result, len(ys))
+	var firstErr error
+	for b, y := range ys {
+		j := job
+		j.Scheme, j.Y, j.K = s, y, k
+		fut, err := e.Submit(ctx, j)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		futs[b] = fut
+	}
+	for b, fut := range futs {
+		if fut == nil {
+			continue
+		}
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		results[b] = res
+	}
+	return results, firstErr
+}

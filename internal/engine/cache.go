@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"pooleddata/internal/graph"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/sparse"
+)
+
+// Spec identifies a pooling scheme for caching: two requests with equal
+// specs receive the same immutable scheme. Design strings include the
+// design's parameters, so RandomRegular{Gamma: 7} and the default never
+// collide.
+type Spec struct {
+	Design string
+	N, M   int
+	Seed   uint64
+}
+
+// SpecFor derives the cache key of a design instance. The design value's
+// fields are folded into the key, so differently-parameterized designs of
+// the same family cache separately.
+func SpecFor(des pooling.Design, n, m int, seed uint64) Spec {
+	return Spec{Design: fmt.Sprintf("%s%+v", des.Name(), des), N: n, M: m, Seed: seed}
+}
+
+// Scheme is a cached pooling design: the immutable bipartite graph plus
+// the lazily-built query-side multiplicity matrix shared by every job
+// that verifies residuals against this design. Safe for concurrent use.
+type Scheme struct {
+	// Spec is the cache key; zero for ad-hoc schemes wrapped from a graph.
+	Spec Spec
+	// G is the pooling graph. Immutable after construction.
+	G *graph.Bipartite
+
+	qmatOnce sync.Once
+	qmat     *sparse.CSR
+
+	extOnce sync.Once
+	ext     any
+}
+
+// Ext returns the caller-side wrapper attached to this scheme, creating
+// it with make on first use. Front-ends (the public pooled.Engine) use it
+// to keep cache hits pointer-identical across their own wrapper types;
+// the wrapper's lifetime is tied to the cached scheme's.
+func (s *Scheme) Ext(make func() any) any {
+	s.extOnce.Do(func() { s.ext = make() })
+	return s.ext
+}
+
+// QueryMatrix returns the m×n query-side multiplicity matrix of the
+// design, building it on first use and sharing it afterwards.
+func (s *Scheme) QueryMatrix() *sparse.CSR {
+	s.qmatOnce.Do(func() { s.qmat = sparse.QueryMultiplicity(s.G) })
+	return s.qmat
+}
+
+// cacheEntry is one cache slot. ready is closed when the build finished
+// (successfully or not); goroutines that find an entry before that joined
+// an in-flight build and wait instead of building again.
+type cacheEntry struct {
+	spec   Spec
+	ready  chan struct{}
+	scheme *Scheme
+	err    error
+}
+
+func (en *cacheEntry) done() bool {
+	select {
+	case <-en.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// cache is an LRU scheme cache with build deduplication.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	bys     map[Spec]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+	metrics *counters
+}
+
+func newCache(capacity int, metrics *counters) *cache {
+	return &cache{cap: capacity, bys: make(map[Spec]*list.Element), lru: list.New(), metrics: metrics}
+}
+
+// get returns the scheme for spec, running build at most once per miss.
+// Concurrent callers for the same spec share a single build; failed
+// builds are not cached, so a later call retries.
+func (c *cache) get(spec Spec, build func() (*graph.Bipartite, error)) (*Scheme, error) {
+	c.mu.Lock()
+	if el, ok := c.bys[spec]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.lru.MoveToFront(el)
+		if ent.done() {
+			c.metrics.cacheHits.Add(1)
+		} else {
+			c.metrics.buildsDeduped.Add(1)
+		}
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.scheme, ent.err
+	}
+	ent := &cacheEntry{spec: spec, ready: make(chan struct{})}
+	el := c.lru.PushFront(ent)
+	c.bys[spec] = el
+	c.evictLocked()
+	c.mu.Unlock()
+
+	g, err := build()
+	c.mu.Lock()
+	if err != nil {
+		ent.err = err
+		c.metrics.buildFailures.Add(1)
+		// Drop the failed entry (it may already have been evicted).
+		if cur, ok := c.bys[spec]; ok && cur == el {
+			delete(c.bys, spec)
+			c.lru.Remove(el)
+		}
+	} else {
+		ent.scheme = &Scheme{Spec: spec, G: g}
+		c.metrics.schemesBuilt.Add(1)
+	}
+	c.mu.Unlock()
+	close(ent.ready)
+	return ent.scheme, ent.err
+}
+
+// evictLocked trims the cache to capacity, oldest first, skipping entries
+// whose build is still in flight (their waiters hold the entry anyway, so
+// evicting them would only duplicate work).
+func (c *cache) evictLocked() {
+	for len(c.bys) > c.cap {
+		victim := (*list.Element)(nil)
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*cacheEntry).done() {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return // everything beyond capacity is still building
+		}
+		ent := victim.Value.(*cacheEntry)
+		delete(c.bys, ent.spec)
+		c.lru.Remove(victim)
+		c.metrics.evictions.Add(1)
+	}
+}
+
+// len reports the number of cached (or in-flight) schemes.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bys)
+}

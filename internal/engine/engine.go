@@ -1,0 +1,199 @@
+// Package engine is the reconstruction engine behind the pooledd service
+// and the experiment sweeps: it amortizes design construction across
+// requests and pipelines many decode jobs through a bounded worker pool.
+//
+// The paper's premise (Gebhard et al., IPDPS 2022) is that the pooled
+// measurement round is the expensive step while reconstruction is cheap.
+// That only holds operationally if the reconstruction side never rebuilds
+// the Γ = n/2 random-regular design per request: a screening lab or
+// feature-selection pipeline runs the one-design/many-signals regime, so
+// the engine owns
+//
+//   - a scheme cache keyed by (design, n, m, seed) with LRU eviction and
+//     build deduplication: concurrent requests for the same design trigger
+//     exactly one pooling build and share the immutable graph (plus its
+//     lazily-built query-side multiplicity matrix);
+//   - a decode pipeline: Submit(job) → Future over a bounded worker pool,
+//     with per-job decoder selection, context cancellation, and per-job
+//     stats (queue wait, decode time, residual, consistency) aggregated
+//     into engine-level counters;
+//   - a batched measurement path (MeasureBatch) that evaluates many
+//     signals against one design in a single pass over the pooling matrix.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pooleddata/internal/graph"
+	"pooleddata/internal/pooling"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// CacheCapacity is the maximum number of cached schemes; 0 means 8.
+	CacheCapacity int
+	// Workers is the number of decode workers; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the decode job queue; 0 means 4·Workers.
+	QueueDepth int
+	// BuildParallelism bounds goroutines per design build; 0 means
+	// GOMAXPROCS.
+	BuildParallelism int
+}
+
+func (c Config) cacheCapacity() int {
+	if c.CacheCapacity <= 0 {
+		return 8
+	}
+	return c.CacheCapacity
+}
+
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 4 * c.workers()
+	}
+	return c.QueueDepth
+}
+
+// Stats is a snapshot of the engine-level counters. The json tags are
+// the wire names cmd/pooledd serves on /v1/stats.
+type Stats struct {
+	// Scheme cache.
+	SchemesBuilt  uint64 `json:"schemes_built"`  // builds executed (cache misses that ran pooling.Build)
+	CacheHits     uint64 `json:"cache_hits"`     // requests served from a completed cache entry
+	BuildsDeduped uint64 `json:"builds_deduped"` // requests that joined an in-flight build
+	Evictions     uint64 `json:"evictions"`      // schemes evicted by the LRU policy
+	BuildFailures uint64 `json:"build_failures"` // builds that returned an error
+
+	// Decode pipeline.
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"` // decoded successfully
+	JobsFailed    uint64 `json:"jobs_failed"`    // decoder returned an error
+	JobsCanceled  uint64 `json:"jobs_canceled"`  // context canceled before a worker picked the job up
+	Consistent    uint64 `json:"consistent"`     // completed jobs whose estimate reproduced y exactly
+
+	// Batched measurement.
+	SignalsMeasured uint64 `json:"signals_measured"` // signals evaluated through MeasureBatch
+
+	// Cumulative time spent by completed jobs (nanoseconds on the wire).
+	TotalQueueWait  time.Duration `json:"total_queue_wait_ns"`
+	TotalDecodeTime time.Duration `json:"total_decode_time_ns"`
+}
+
+// counters is the mutable, atomically-updated backing of Stats.
+type counters struct {
+	schemesBuilt, cacheHits, buildsDeduped, evictions, buildFailures atomic.Uint64
+	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled           atomic.Uint64
+	consistent, signalsMeasured                                      atomic.Uint64
+	queueWaitNS, decodeNS                                            atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		SchemesBuilt:    c.schemesBuilt.Load(),
+		CacheHits:       c.cacheHits.Load(),
+		BuildsDeduped:   c.buildsDeduped.Load(),
+		Evictions:       c.evictions.Load(),
+		BuildFailures:   c.buildFailures.Load(),
+		JobsSubmitted:   c.jobsSubmitted.Load(),
+		JobsCompleted:   c.jobsCompleted.Load(),
+		JobsFailed:      c.jobsFailed.Load(),
+		JobsCanceled:    c.jobsCanceled.Load(),
+		Consistent:      c.consistent.Load(),
+		SignalsMeasured: c.signalsMeasured.Load(),
+		TotalQueueWait:  time.Duration(c.queueWaitNS.Load()),
+		TotalDecodeTime: time.Duration(c.decodeNS.Load()),
+	}
+}
+
+// Engine is a reconstruction service core: scheme cache plus decode
+// pipeline. Create one with New and release its workers with Close. Safe
+// for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *cache
+	stats counters
+
+	jobs chan *task
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight Submit sends
+	closed bool
+}
+
+// New starts an Engine with cfg.Workers decode workers.
+func New(cfg Config) *Engine {
+	e := &Engine{
+		cfg:  cfg,
+		jobs: make(chan *task, cfg.queueDepth()),
+	}
+	e.cache = newCache(cfg.cacheCapacity(), &e.stats)
+	for w := 0; w < cfg.workers(); w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops accepting jobs, drains the queue, and waits for the workers
+// to exit. Queued jobs still complete.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// Scheme returns the cached scheme for (des, n, m, seed), building it at
+// most once no matter how many goroutines ask concurrently. The returned
+// scheme is shared: callers on a cache hit receive the identical pointer.
+func (e *Engine) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, error) {
+	if des == nil {
+		des = pooling.RandomRegular{}
+	}
+	spec := SpecFor(des, n, m, seed)
+	return e.cache.get(spec, func() (*graph.Bipartite, error) {
+		return des.Build(n, m, pooling.BuildOptions{Seed: seed, Parallelism: e.cfg.BuildParallelism})
+	})
+}
+
+// SchemeFromGraph wraps a prebuilt design (e.g. one uploaded as a labio
+// CSV file) as an engine scheme without caching it.
+func (e *Engine) SchemeFromGraph(g *graph.Bipartite) *Scheme {
+	return &Scheme{G: g}
+}
+
+// workerCount reports the configured worker-pool size.
+func (e *Engine) workerCount() int { return e.cfg.workers() }
+
+func validateJob(job Job) error {
+	if job.Scheme == nil || job.Scheme.G == nil {
+		return fmt.Errorf("engine: job has no scheme")
+	}
+	if len(job.Y) != job.Scheme.G.M() {
+		return fmt.Errorf("engine: %d counts for %d queries", len(job.Y), job.Scheme.G.M())
+	}
+	if job.K < 0 || job.K > job.Scheme.G.N() {
+		return fmt.Errorf("engine: weight k=%d out of [0,%d]", job.K, job.Scheme.G.N())
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/decoder"
+)
+
+// Job is one decode request: invert the scheme's design on the measured
+// counts Y, looking for a weight-K signal.
+type Job struct {
+	// Scheme is the design to invert (from Engine.Scheme or
+	// SchemeFromGraph).
+	Scheme *Scheme
+	// Y are the measured counts, one per query.
+	Y []int64
+	// K is the signal's Hamming weight.
+	K int
+	// Dec selects the reconstruction algorithm; nil means the paper's
+	// MN-Algorithm.
+	Dec decoder.Decoder
+}
+
+func (j Job) dec() decoder.Decoder {
+	if j.Dec == nil {
+		return decoder.MN{}
+	}
+	return j.Dec
+}
+
+// JobStats are the per-job measurements the pipeline records.
+type JobStats struct {
+	// QueueWait is the time between Submit and a worker picking the job
+	// up.
+	QueueWait time.Duration
+	// DecodeTime is the time spent inside the decoder.
+	DecodeTime time.Duration
+	// Residual is the L1 misfit Σ_j |y_j − ŷ_j| of the estimate.
+	Residual int64
+	// Consistent reports whether the estimate reproduces Y exactly.
+	Consistent bool
+}
+
+// Result is the outcome of a completed job.
+type Result struct {
+	// Support is the recovered one-entry index set, ascending.
+	Support []int
+	// Estimate is the recovered signal as a bit vector.
+	Estimate *bitvec.Vector
+	// Stats are the per-job pipeline measurements.
+	Stats JobStats
+}
+
+// Future is the handle returned by Submit. Wait blocks until the job
+// completes or the passed context is done.
+type Future struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+func (f *Future) complete(res Result, err error) {
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// Done returns a channel closed when the job has completed.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait returns the job's result, blocking until it completes or ctx is
+// done. A context error abandons the wait, not the job: the worker still
+// finishes it and the engine counters still see it.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// task is a queued job plus its bookkeeping.
+type task struct {
+	job      Job
+	ctx      context.Context
+	fut      *Future
+	enqueued time.Time
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = fmt.Errorf("engine: closed")
+
+// Submit validates and enqueues a decode job, returning a Future. It
+// blocks while the queue is full; ctx cancels both the enqueue wait and —
+// if still queued when it fires — the job itself.
+func (e *Engine) Submit(ctx context.Context, job Job) (*Future, error) {
+	if err := validateJob(job); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	fut := &Future{done: make(chan struct{})}
+	t := &task{job: job, ctx: ctx, fut: fut, enqueued: time.Now()}
+
+	// The read lock is held across the (possibly blocking) send so Close
+	// can never close the channel under a sender; workers drain the queue
+	// without touching the lock, so blocked senders always make progress.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case e.jobs <- t:
+		e.stats.jobsSubmitted.Add(1)
+		return fut, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Decode is Submit followed by Wait: it runs one job through the pipeline
+// and returns its result.
+func (e *Engine) Decode(ctx context.Context, job Job) (Result, error) {
+	fut, err := e.Submit(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	return fut.Wait(ctx)
+}
+
+// worker drains the job queue until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.jobs {
+		e.run(t)
+	}
+}
+
+// run executes one task and completes its future.
+func (e *Engine) run(t *task) {
+	wait := time.Since(t.enqueued)
+	if err := t.ctx.Err(); err != nil {
+		e.stats.jobsCanceled.Add(1)
+		t.fut.complete(Result{Stats: JobStats{QueueWait: wait}}, err)
+		return
+	}
+	start := time.Now()
+	est, err := t.job.dec().Decode(t.job.Scheme.G, t.job.Y, t.job.K)
+	elapsed := time.Since(start)
+	if err != nil {
+		e.stats.jobsFailed.Add(1)
+		t.fut.complete(Result{Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
+		return
+	}
+	res := Result{
+		Support:  est.Support(),
+		Estimate: est,
+		Stats:    JobStats{QueueWait: wait, DecodeTime: elapsed},
+	}
+	res.Stats.Residual = e.residual(t.job.Scheme, est, t.job.Y)
+	res.Stats.Consistent = res.Stats.Residual == 0
+
+	e.stats.jobsCompleted.Add(1)
+	if res.Stats.Consistent {
+		e.stats.consistent.Add(1)
+	}
+	e.stats.queueWaitNS.Add(int64(wait))
+	e.stats.decodeNS.Add(int64(elapsed))
+	t.fut.complete(res, nil)
+}
+
+// residual computes the L1 misfit of est against y using the scheme's
+// shared query-side matrix (decoder.Residual would rebuild it per call).
+func (e *Engine) residual(s *Scheme, est *bitvec.Vector, y []int64) int64 {
+	x := make([]int64, s.G.N())
+	est.ForEachSet(func(i int) { x[i] = 1 })
+	pred := s.QueryMatrix().MulVec(x, nil)
+	var r int64
+	for j := range y {
+		d := y[j] - pred[j]
+		if d < 0 {
+			d = -d
+		}
+		r += d
+	}
+	return r
+}
+
+// DecoderByName maps a wire-format decoder name to its implementation.
+// Accepted names are the decoder Name() strings plus common aliases.
+func DecoderByName(name string) (decoder.Decoder, error) {
+	switch name {
+	case "", "mn":
+		return decoder.MN{}, nil
+	case "mn-refined", "refined":
+		return decoder.Refined{}, nil
+	case "bp":
+		return decoder.BP{}, nil
+	case "greedy-omp", "greedy":
+		return decoder.Greedy{}, nil
+	case "lp-relaxation", "lp", "cs":
+		return decoder.LP{}, nil
+	case "exhaustive":
+		return decoder.Exhaustive{}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown decoder %q", name)
+}

@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"fmt"
+
+	"pooleddata/internal/pooling"
+)
+
+// DesignParams are the optional per-design knobs of a wire-format scheme
+// request. The zero value selects each design's paper default.
+type DesignParams struct {
+	// Gamma is the RandomRegular query size; 0 means ⌈n/2⌉.
+	Gamma int
+	// P is the Bernoulli inclusion probability; 0 means 1/2.
+	P float64
+	// D is the ConstantColumn per-entry degree; 0 means round(γ·m).
+	D int
+}
+
+// DesignByName maps a wire-format design name to its implementation.
+func DesignByName(name string, params DesignParams) (pooling.Design, error) {
+	switch name {
+	case "", "random-regular", "regular":
+		return pooling.RandomRegular{Gamma: params.Gamma}, nil
+	case "bernoulli":
+		return pooling.Bernoulli{P: params.P}, nil
+	case "constant-column", "column":
+		return pooling.ConstantColumn{D: params.D}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown design %q", name)
+}

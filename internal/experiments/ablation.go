@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
+	"pooleddata/internal/engine"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
@@ -137,17 +139,18 @@ func NoiseRobustness(n, k, m int, sigmas []float64, cfg Config) (Series, error) 
 		oracle := query.Noisy{Sigma: noise}
 		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
 			seed := rng.DeriveSeed(pointSeed, uint64(t))
-			g, err := cfg.design().Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+			e := Engine()
+			s, err := e.Scheme(cfg.design(), n, m, rng.DeriveSeed(seed, 1))
 			if err != nil {
 				return 0, err
 			}
 			sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
-			res := query.Execute(g, sigma, query.Options{Oracle: oracle, Seed: rng.DeriveSeed(seed, 3)})
-			est, err := cfg.decoder().Decode(g, res.Y, k)
+			res := query.Execute(s.G, sigma, query.Options{Oracle: oracle, Seed: rng.DeriveSeed(seed, 3)})
+			r, err := e.Decode(context.Background(), engine.Job{Scheme: s, Y: res.Y, K: k, Dec: cfg.decoder()})
 			if err != nil {
 				return 0, err
 			}
-			return bitvec.OverlapFraction(sigma, est), nil
+			return bitvec.OverlapFraction(sigma, r.Estimate), nil
 		})
 		if err != nil {
 			return Series{}, err

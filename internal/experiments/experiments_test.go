@@ -113,6 +113,9 @@ func TestFig4OverlapMonotoneAcrossRegimes(t *testing.T) {
 }
 
 func TestFig2RequiredMTracksTheory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full sweep in -short mode")
+	}
 	cfg := Config{Trials: 6, Seed: 5}
 	ns := []int{300, 1000}
 	series, err := Fig2(ns, []float64{0.3}, cfg)
@@ -155,6 +158,9 @@ func TestRequiredMDeterministic(t *testing.T) {
 }
 
 func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full sweep in -short mode")
+	}
 	// §VI: ≈99% of one-entries found at n=1000, θ=0.3, m=220.
 	res, err := Headline(Config{Trials: 30, Seed: 99})
 	if err != nil {

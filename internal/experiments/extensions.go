@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pooleddata/internal/adaptive"
 	"pooleddata/internal/bitvec"
+	"pooleddata/internal/engine"
 	"pooleddata/internal/graph"
 	"pooleddata/internal/mn"
 	"pooleddata/internal/pooling"
@@ -123,19 +125,20 @@ func ThresholdGT(n, k, T int, ms []int, cfg Config) ([]Series, error) {
 			pointSeed := rng.DeriveSeed(cfg.Seed, uint64(di)<<48|uint64(mi))
 			vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
 				seed := rng.DeriveSeed(pointSeed, uint64(t))
-				g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+				e := Engine()
+				s, err := e.Scheme(des, n, m, rng.DeriveSeed(seed, 1))
 				if err != nil {
 					return 0, err
 				}
 				sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
-				res := query.Execute(g, sigma, query.Options{
+				res := query.Execute(s.G, sigma, query.Options{
 					Oracle: query.Threshold{T: int64(T)}, Seed: rng.DeriveSeed(seed, 3),
 				})
-				est, err := dec.Decode(g, res.Y, k)
+				r, err := e.Decode(context.Background(), engine.Job{Scheme: s, Y: res.Y, K: k, Dec: dec})
 				if err != nil {
 					return 0, err
 				}
-				if est.Equal(sigma) {
+				if r.Estimate.Equal(sigma) {
 					return 1, nil
 				}
 				return 0, nil

@@ -69,6 +69,9 @@ func TestThresholdGTGeneralT(t *testing.T) {
 }
 
 func TestDenseRegimeBPBeatsMN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full sweep in -short mode")
+	}
 	// k = n/4: the MN threshold constant diverges; BP should decode at
 	// a budget where MN cannot.
 	n, k := 200, 50

@@ -6,7 +6,6 @@ import (
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
-	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
 	"pooleddata/internal/stats"
@@ -197,10 +196,11 @@ func InfoTheoretic(n, k int, ms []int, cfg Config) (Series, error) {
 		pointSeed := rng.DeriveSeed(cfg.Seed, uint64(mi))
 		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
 			seed := rng.DeriveSeed(pointSeed, uint64(t))
-			g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+			s, err := Engine().Scheme(des, n, m, rng.DeriveSeed(seed, 1))
 			if err != nil {
 				return 0, err
 			}
+			g := s.G
 			sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
 			res := query.Execute(g, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
 			_, count, err := ex.CountConsistent(g, res.Y, k, 2)

@@ -9,17 +9,37 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
+	"pooleddata/internal/engine"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
 	"pooleddata/internal/stats"
 )
+
+// The sweeps run through a shared reconstruction engine — the same
+// scheme-cache + decode-pipeline code path cmd/pooledd serves — so the
+// experiments exercise the production path rather than a parallel one.
+// Trials draw fresh per-trial seeds, so the cache mostly provides the
+// build-dedup/bounded-memory behavior here; the decode pipeline supplies
+// the worker pool.
+var (
+	engOnce sync.Once
+	eng     *engine.Engine
+)
+
+// Engine returns the package-wide reconstruction engine, starting it on
+// first use. It lives for the process.
+func Engine() *engine.Engine {
+	engOnce.Do(func() { eng = engine.New(engine.Config{CacheCapacity: 8}) })
+	return eng
+}
 
 // Config controls a sweep.
 type Config struct {
@@ -73,22 +93,24 @@ type TrialOutcome struct {
 	Overlap float64
 }
 
-// RunTrial simulates one instance end to end: build the design, draw σ,
-// execute the queries, decode, compare.
+// RunTrial simulates one instance end to end: fetch the design from the
+// engine's scheme cache, draw σ, execute the queries, decode through the
+// engine pipeline, compare.
 func RunTrial(n, k, m int, seed uint64, des pooling.Design, dec decoder.Decoder) (TrialOutcome, error) {
-	g, err := des.Build(n, m, pooling.BuildOptions{Seed: rng.DeriveSeed(seed, 1)})
+	e := Engine()
+	s, err := e.Scheme(des, n, m, rng.DeriveSeed(seed, 1))
 	if err != nil {
 		return TrialOutcome{}, fmt.Errorf("experiments: build design: %w", err)
 	}
 	sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
-	res := query.Execute(g, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
-	est, err := dec.Decode(g, res.Y, k)
+	res := query.Execute(s.G, sigma, query.Options{Seed: rng.DeriveSeed(seed, 3)})
+	r, err := e.Decode(context.Background(), engine.Job{Scheme: s, Y: res.Y, K: k, Dec: dec})
 	if err != nil {
 		return TrialOutcome{}, fmt.Errorf("experiments: decode: %w", err)
 	}
 	return TrialOutcome{
-		Success: est.Equal(sigma),
-		Overlap: bitvec.OverlapFraction(sigma, est),
+		Success: r.Estimate.Equal(sigma),
+		Overlap: bitvec.OverlapFraction(sigma, r.Estimate),
 	}, nil
 }
 

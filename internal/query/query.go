@@ -228,6 +228,73 @@ func Execute(g *graph.Bipartite, sigma *bitvec.Vector, opts Options) Result {
 	return res
 }
 
+// ExecuteBatch evaluates every query of g against B signals in a single
+// pass over the pooling matrix: each query's edge list is traversed once
+// and scored against all signals, amortizing the Γm edge traversal across
+// the batch (B separate Execute calls traverse it B times). Only the
+// exact additive oracle is supported — noisy oracles draw per-signal
+// streams and must use Execute. Row b of the result is the count vector
+// of sigmas[b]; it is bit-identical to Execute(g, sigmas[b], ...).Y.
+func ExecuteBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int) [][]int64 {
+	nb := len(sigmas)
+	for b, s := range sigmas {
+		if g.N() != s.Len() {
+			panic(fmt.Sprintf("query: design over %d entries, signal %d has %d", g.N(), b, s.Len()))
+		}
+	}
+	m := g.M()
+	out := make([][]int64, nb)
+	for b := range out {
+		out[b] = make([]int64, m)
+	}
+	if nb == 0 || m == 0 {
+		return out
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	scan := func(lo, hi int) {
+		acc := make([]int64, nb)
+		for j := lo; j < hi; j++ {
+			entries, mults := g.QueryEntries(j)
+			for b := range acc {
+				acc[b] = 0
+			}
+			for p, e := range entries {
+				mu := int64(mults[p])
+				for b, s := range sigmas {
+					if s.Get(int(e)) {
+						acc[b] += mu
+					}
+				}
+			}
+			for b := range acc {
+				out[b][j] = acc[b]
+			}
+		}
+	}
+	if workers <= 1 {
+		scan(0, m)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
 // Schedule list-schedules the given query durations onto L units
 // (0 or >= len(durations) means fully parallel) and returns the number of
 // rounds, the makespan, and the total work. Queries are assigned in index

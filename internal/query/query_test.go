@@ -261,3 +261,34 @@ func TestMakespanDecreasesWithMoreUnits(t *testing.T) {
 		prev = res.Makespan
 	}
 }
+
+func TestExecuteBatchMatchesExecute(t *testing.T) {
+	g, err := pooling.RandomRegular{}.Build(300, 90, pooling.BuildOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 7
+	sigmas := make([]*bitvec.Vector, batch)
+	for b := range sigmas {
+		sigmas[b] = bitvec.Random(300, 4+b, rng.NewRandSeeded(uint64(50+b)))
+	}
+	for _, workers := range []int{0, 1, 3} {
+		ys := ExecuteBatch(g, sigmas, workers)
+		if len(ys) != batch {
+			t.Fatalf("got %d rows, want %d", len(ys), batch)
+		}
+		for b := range sigmas {
+			want := Execute(g, sigmas[b], Options{}).Y
+			for j := range want {
+				if ys[b][j] != want[j] {
+					t.Fatalf("workers=%d signal=%d query=%d: batch %d, serial %d",
+						workers, b, j, ys[b][j], want[j])
+				}
+			}
+		}
+	}
+	// Empty batch and empty design are fine.
+	if got := ExecuteBatch(g, nil, 0); len(got) != 0 {
+		t.Fatal("empty batch should yield no rows")
+	}
+}

@@ -27,10 +27,12 @@ package pooled
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
+	"pooleddata/internal/engine"
 	"pooleddata/internal/graph"
 	"pooleddata/internal/mn"
 	"pooleddata/internal/pooling"
@@ -92,20 +94,50 @@ type Scheme struct {
 	g       *graph.Bipartite
 	seed    uint64
 	workers int
+
+	// es is the engine-side view of this scheme: set at construction for
+	// schemes served from an Engine cache, wrapped lazily otherwise.
+	esOnce sync.Once
+	es     *engine.Scheme
+}
+
+// designFor maps a DesignKind to its pooling implementation.
+func designFor(kind DesignKind) (pooling.Design, error) {
+	switch kind {
+	case RandomRegular:
+		return pooling.RandomRegular{}, nil
+	case Bernoulli:
+		return pooling.Bernoulli{}, nil
+	case ConstantColumn:
+		return pooling.ConstantColumn{}, nil
+	}
+	return nil, fmt.Errorf("pooled: unknown design kind %d", kind)
+}
+
+// decoderFor maps a DecoderKind to its implementation.
+func decoderFor(kind DecoderKind, workers int) (decoder.Decoder, error) {
+	switch kind {
+	case MN:
+		return decoder.MN{Workers: workers}, nil
+	case MNRefined:
+		return decoder.Refined{}, nil
+	case BeliefPropagation:
+		return decoder.BP{}, nil
+	case GreedyPeeling:
+		return decoder.Greedy{}, nil
+	case ExhaustiveSearch:
+		return decoder.Exhaustive{}, nil
+	case CompressedSensing:
+		return decoder.LP{}, nil
+	}
+	return nil, fmt.Errorf("pooled: unknown decoder kind %d", kind)
 }
 
 // New builds a pooling scheme with n coordinates and m parallel queries.
 func New(n, m int, opts Options) (*Scheme, error) {
-	var des pooling.Design
-	switch opts.Design {
-	case RandomRegular:
-		des = pooling.RandomRegular{}
-	case Bernoulli:
-		des = pooling.Bernoulli{}
-	case ConstantColumn:
-		des = pooling.ConstantColumn{}
-	default:
-		return nil, fmt.Errorf("pooled: unknown design kind %d", opts.Design)
+	des, err := designFor(opts.Design)
+	if err != nil {
+		return nil, err
 	}
 	g, err := des.Build(n, m, pooling.BuildOptions{Seed: opts.Seed, Parallelism: opts.Workers})
 	if err != nil {
@@ -148,6 +180,27 @@ func (s *Scheme) Measure(signal []bool) []int64 {
 	return query.Execute(s.g, sigma, query.Options{Workers: s.workers, Seed: s.seed}).Y
 }
 
+// MeasureBatch simulates the measurement round for many signals against
+// this one design in a single pass over the pooling matrix: the Γm edge
+// traversal is amortized across the batch, which is how a screening lab
+// or feature-selection pipeline actually runs (one design, many plates).
+// Row b of the result equals Measure(signals[b]).
+func (s *Scheme) MeasureBatch(signals [][]bool) [][]int64 {
+	return query.ExecuteBatch(s.g, s.batchVectors(signals), s.workers)
+}
+
+// batchVectors validates and packs a batch of boolean signals.
+func (s *Scheme) batchVectors(signals [][]bool) []*bitvec.Vector {
+	sigmas := make([]*bitvec.Vector, len(signals))
+	for b, sig := range signals {
+		if len(sig) != s.n {
+			panic(fmt.Sprintf("pooled: signal %d has length %d, want %d", b, len(sig), s.n))
+		}
+		sigmas[b] = bitvec.FromBools(sig)
+	}
+	return sigmas
+}
+
 // MeasureNoisy simulates measurements with additive rounded Gaussian
 // noise of standard deviation sigma on every count.
 func (s *Scheme) MeasureNoisy(signal []bool, sigma float64) []int64 {
@@ -170,22 +223,9 @@ func (s *Scheme) Reconstruct(y []int64, k int) ([]int, error) {
 
 // ReconstructWith is Reconstruct with an explicit decoder choice.
 func (s *Scheme) ReconstructWith(y []int64, k int, kind DecoderKind) ([]int, error) {
-	var dec decoder.Decoder
-	switch kind {
-	case MN:
-		dec = decoder.MN{Workers: s.workers}
-	case MNRefined:
-		dec = decoder.Refined{}
-	case BeliefPropagation:
-		dec = decoder.BP{}
-	case GreedyPeeling:
-		dec = decoder.Greedy{}
-	case ExhaustiveSearch:
-		dec = decoder.Exhaustive{}
-	case CompressedSensing:
-		dec = decoder.LP{}
-	default:
-		return nil, fmt.Errorf("pooled: unknown decoder kind %d", kind)
+	dec, err := decoderFor(kind, s.workers)
+	if err != nil {
+		return nil, err
 	}
 	est, err := dec.Decode(s.g, y, k)
 	if err != nil {

@@ -1,0 +1,145 @@
+package pooled
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pooleddata/internal/rng"
+)
+
+// These tests exist for `go test -race`: they hammer one cached Scheme
+// from many goroutines — concurrent Measure + ReconstructWith across all
+// decoder kinds, plus the engine pipeline — and assert every result
+// matches the serial path.
+
+// raceInstance is small enough that even ExhaustiveSearch stays cheap.
+func raceInstance(t *testing.T) (int, int, int, [][]bool) {
+	t.Helper()
+	n, k, m := 80, 3, 70
+	const signals = 4
+	sigs := make([][]bool, signals)
+	r := rng.NewRandSeeded(5)
+	for s := range sigs {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		sigs[s] = sig
+	}
+	return n, k, m, sigs
+}
+
+func TestSchemeConcurrentHammer(t *testing.T) {
+	n, k, m, sigs := raceInstance(t)
+	kinds := []DecoderKind{MN, MNRefined, BeliefPropagation, GreedyPeeling, ExhaustiveSearch, CompressedSensing}
+
+	eng := NewEngine(EngineOptions{CacheCapacity: 2, Workers: 4})
+	defer eng.Close()
+	scheme, err := eng.Scheme(n, m, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: one measurement and one decode per (signal, kind).
+	ys := make([][]int64, len(sigs))
+	want := make([][][]int, len(sigs))
+	for s, sig := range sigs {
+		ys[s] = scheme.Measure(sig)
+		want[s] = make([][]int, len(kinds))
+		for d, kind := range kinds {
+			sup, err := scheme.ReconstructWith(ys[s], k, kind)
+			if err != nil {
+				t.Fatalf("serial %d/%d: %v", s, d, err)
+			}
+			want[s][d] = sup
+		}
+	}
+
+	const goroutines = 12
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				s := (g + it) % len(sigs)
+				d := (g * 7) % len(kinds)
+
+				// Cache hits must hand back the identical scheme.
+				sc, err := eng.Scheme(n, m, Options{Seed: 3})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sc != scheme {
+					t.Error("concurrent cache hit returned a different *Scheme")
+					return
+				}
+				y := sc.Measure(sigs[s])
+				for j := range y {
+					if y[j] != ys[s][j] {
+						t.Errorf("concurrent Measure diverged at query %d", j)
+						return
+					}
+				}
+				sup, err := sc.ReconstructWith(y, k, kinds[d])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equalInts(sup, want[s][d]) {
+					t.Errorf("concurrent %v decode of signal %d diverged", kinds[d], s)
+					return
+				}
+				// The engine pipeline must agree with the direct path.
+				res, err := eng.Decode(context.Background(), sc, y, k, kinds[d])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equalInts(res.Support, want[s][d]) {
+					t.Errorf("pipelined %v decode of signal %d diverged", kinds[d], s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureBatchMatchesMeasureConcurrently(t *testing.T) {
+	n, k, m, sigs := raceInstance(t)
+	_ = k
+	scheme, err := New(n, m, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int64, len(sigs))
+	for s, sig := range sigs {
+		want[s] = scheme.Measure(sig)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ys := scheme.MeasureBatch(sigs)
+			for s := range sigs {
+				for j := range want[s] {
+					if ys[s][j] != want[s][j] {
+						t.Errorf("MeasureBatch diverged at signal %d query %d", s, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
