@@ -1,23 +1,33 @@
-// Command pooledd serves the reconstruction engine over HTTP: cached
-// pooling schemes, pipelined decodes, and engine counters. It is the
-// service form of the one-design/many-signals regime — a screening lab
-// posts one design up front, then streams plates of counts at it.
+// Command pooledd serves the sharded reconstruction cluster over HTTP:
+// cached pooling schemes partitioned across engine shards, pipelined
+// decodes, async campaigns, and fleet-wide counters. It is the service
+// form of the one-design/many-signals regime — a screening lab posts
+// one design up front, then streams plates of counts at it; multiple
+// labs coexist because each design lives on the shard that owns its
+// spec hash, so one tenant's churn cannot evict another's scheme.
 //
 // Usage:
 //
-//	pooledd -addr :8080 -cache 16 -workers 8 -queue 64
+//	pooledd -addr :8080 -shards 4 -cache 16 -workers 2 -queue 64 \
+//	        -designs lab-a.csv,lab-b.csv
 //
 // API (JSON unless noted; design/count payloads reuse the labio CSV
 // formats of WriteDesignCSV/WriteCountsCSV):
 //
-//	POST /v1/schemes              {"design":"random-regular","n":10000,"m":600,"seed":1}
-//	                              or a labio design CSV (Content-Type: text/csv)
-//	GET  /v1/schemes/{id}         scheme metadata
-//	GET  /v1/schemes/{id}/design  the design as labio CSV (for the robot)
-//	POST /v1/decode               {"scheme":"s1","k":16,"decoder":"mn","counts":[...]}
-//	                              or {"batch":[[...],[...]]} for pipelined decoding
-//	                              or a labio counts CSV with ?scheme=s1&k=16&decoder=mn
-//	GET  /v1/stats                engine counters (cache hits, dedup, queue/decode time)
+//	POST   /v1/schemes             {"design":"random-regular","n":10000,"m":600,"seed":1}
+//	                               or a labio design CSV (Content-Type: text/csv)
+//	GET    /v1/schemes/{id}        scheme metadata (including its shard)
+//	GET    /v1/schemes/{id}/design the design as labio CSV (for the robot)
+//	POST   /v1/decode              {"scheme":"s1","k":16,"decoder":"mn","counts":[...]}
+//	                               or {"batch":[[...],[...]]} for pipelined decoding
+//	                               or a labio counts CSV with ?scheme=s1&k=16&decoder=mn
+//	                               429 + Retry-After when the owning shard is saturated
+//	POST   /v1/campaigns           {"scheme":"s1","k":16,"batch":[[...],...]} → 202 + id
+//	GET    /v1/campaigns           all retained campaigns
+//	GET    /v1/campaigns/{id}      progress + completed results; ?wait=5s long-polls
+//	DELETE /v1/campaigns/{id}      cancel (queued jobs settle as canceled)
+//	GET    /v1/stats               fleet aggregate + per-shard breakdown (queue depth,
+//	                               cache hits, rejected jobs, decode-latency histograms)
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"pooleddata/internal/engine"
@@ -32,30 +43,48 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cache := flag.Int("cache", 16, "scheme cache capacity (LRU)")
-	workers := flag.Int("workers", 0, "decode worker pool size (0: GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "decode queue depth (0: 4x workers)")
+	shards := flag.Int("shards", 4, "engine shard count (each shard owns its cache and worker pool)")
+	cache := flag.Int("cache", 16, "scheme cache capacity per shard (LRU)")
+	workers := flag.Int("workers", 0, "decode workers per shard (0: GOMAXPROCS/shards)")
+	queue := flag.Int("queue", 0, "decode queue depth per shard (0: 4x workers)")
 	maxSchemes := flag.Int("max-schemes", 64, "max registered scheme ids (oldest dropped beyond)")
 	maxBody := flag.Int64("max-body", 256<<20, "max request body bytes")
+	designs := flag.String("designs", "", "comma-separated labio design CSVs to preload at boot")
 	flag.Parse()
 
-	eng := engine.New(engine.Config{
-		CacheCapacity: *cache,
-		Workers:       *workers,
-		QueueDepth:    *queue,
+	if *shards < 1 {
+		*shards = 1
+	}
+	cluster := engine.NewCluster(engine.ClusterConfig{
+		Shards: *shards,
+		Shard: engine.Config{
+			CacheCapacity: *cache,
+			Workers:       *workers, // 0: NewCluster splits GOMAXPROCS across shards
+			QueueDepth:    *queue,
+		},
 	})
-	defer eng.Close()
+	defer cluster.Close()
 
-	srv := newServer(eng)
+	srv := newServer(cluster)
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
+	if *designs != "" {
+		paths := strings.Split(*designs, ",")
+		for i := range paths {
+			paths[i] = strings.TrimSpace(paths[i])
+		}
+		if err := preloadDesigns(cluster, srv, paths, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	fmt.Fprintf(os.Stderr, "pooledd: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "pooledd: listening on %s (%d shards x %d workers)\n", *addr, *shards, cluster.Shard(0).Workers())
 	if err := httpSrv.ListenAndServe(); err != nil {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)

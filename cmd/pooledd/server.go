@@ -10,24 +10,29 @@ import (
 	"sync"
 	"time"
 
+	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
 )
 
-// server is the HTTP front-end over the reconstruction engine. Scheme
-// payloads and count payloads reuse the labio CSV wire formats, so a
-// design written by WriteDesignCSV uploads unchanged and a robot's
-// results file posts straight to /v1/decode.
+// server is the HTTP front-end over the sharded reconstruction cluster.
+// Scheme payloads and count payloads reuse the labio CSV wire formats,
+// so a design written by WriteDesignCSV uploads unchanged and a robot's
+// results file posts straight to /v1/decode. Batch work goes through
+// the campaign subsystem: POST /v1/campaigns returns an id immediately
+// and the jobs drain through the owning shard's pipeline.
 type server struct {
-	eng   *engine.Engine
-	start time.Time
+	cluster   *engine.Cluster
+	campaigns *campaign.Store
+	start     time.Time
 
 	// maxSchemes bounds the id registry: beyond it the oldest entries are
 	// dropped (their ids start returning 404), so uploaded ad-hoc designs
 	// and churned specs cannot pin memory forever. maxBody bounds request
-	// bodies.
+	// bodies. maxWait caps the campaign long-poll.
 	maxSchemes int
 	maxBody    int64
+	maxWait    time.Duration
 
 	mu      sync.Mutex
 	schemes map[string]*schemeEntry
@@ -42,17 +47,20 @@ type schemeEntry struct {
 	N      int    `json:"n"`
 	M      int    `json:"m"`
 	Seed   uint64 `json:"seed"`
+	Shard  int    `json:"shard"`
 	AdHoc  bool   `json:"ad_hoc,omitempty"`
 
 	scheme *engine.Scheme
 }
 
-func newServer(eng *engine.Engine) *server {
+func newServer(cluster *engine.Cluster) *server {
 	return &server{
-		eng:        eng,
+		cluster:    cluster,
+		campaigns:  campaign.NewStore(cluster, campaign.Config{}),
 		start:      time.Now(),
 		maxSchemes: 64,
 		maxBody:    256 << 20,
+		maxWait:    30 * time.Second,
 		schemes:    make(map[string]*schemeEntry),
 		bySpec:     make(map[engine.Spec]string),
 	}
@@ -64,6 +72,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/schemes/{id}", s.handleGetScheme)
 	mux.HandleFunc("GET /v1/schemes/{id}/design", s.handleGetDesign)
 	mux.HandleFunc("POST /v1/decode", s.handleDecode)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
+	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
@@ -86,6 +98,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// rejectSaturated writes the admission-control response: 429 with a
+// Retry-After estimated from the shard's current backlog and mean
+// decode time (at least one second).
+func rejectSaturated(w http.ResponseWriter, shard *engine.Engine) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shard)))
+	httpError(w, http.StatusTooManyRequests, "decode queue saturated, retry later")
+}
+
+func retryAfterSeconds(shard *engine.Engine) int {
+	st := shard.Stats()
+	if st.JobsCompleted == 0 {
+		return 1
+	}
+	avg := st.TotalDecodeTime / time.Duration(st.JobsCompleted)
+	workers := shard.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	est := avg * time.Duration(shard.QueueDepth()) / time.Duration(workers)
+	secs := int(est / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // schemeRequest is the JSON body of POST /v1/schemes.
 type schemeRequest struct {
 	Design string  `json:"design"` // random-regular | bernoulli | constant-column
@@ -97,9 +135,10 @@ type schemeRequest struct {
 	D      int     `json:"d,omitempty"`
 }
 
-// handleCreateScheme builds (or fetches from cache) a pooling scheme.
-// JSON bodies describe a design by parameters; text/csv bodies upload an
-// explicit design in the labio format (the WriteDesignCSV output).
+// handleCreateScheme builds (or fetches from the owning shard's cache) a
+// pooling scheme. JSON bodies describe a design by parameters; text/csv
+// bodies upload an explicit design in the labio format (the
+// WriteDesignCSV output).
 func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "text/csv") {
@@ -108,7 +147,7 @@ func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "parse design csv: %v", err)
 			return
 		}
-		es := s.eng.SchemeFromGraph(g)
+		es := s.cluster.SchemeFromGraph(g)
 		ent := s.register(es, "uploaded", g.N(), g.M(), 0, true)
 		writeJSON(w, http.StatusCreated, ent)
 		return
@@ -127,7 +166,7 @@ func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	es, err := s.eng.Scheme(des, req.N, req.M, req.Seed)
+	es, err := s.cluster.Scheme(des, req.N, req.M, req.Seed)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "build scheme: %v", err)
 		return
@@ -149,7 +188,7 @@ func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint6
 	s.nextID++
 	ent := &schemeEntry{
 		ID:     fmt.Sprintf("s%d", s.nextID),
-		Design: design, N: n, M: m, Seed: seed, AdHoc: adhoc,
+		Design: design, N: n, M: m, Seed: seed, Shard: es.Home(), AdHoc: adhoc,
 		scheme: es,
 	}
 	s.schemes[ent.ID] = ent
@@ -230,9 +269,11 @@ func toResponse(res engine.Result) decodeResponse {
 	}
 }
 
-// handleDecode runs reconstructions through the engine pipeline. JSON
-// bodies carry counts inline; text/csv bodies are labio results files
-// (the WriteCountsCSV output) with scheme/k/decoder in query parameters.
+// handleDecode runs reconstructions through the owning shard's pipeline.
+// JSON bodies carry counts inline; text/csv bodies are labio results
+// files (the WriteCountsCSV output) with scheme/k/decoder in query
+// parameters. A saturated shard queue rejects with 429 + Retry-After
+// instead of blocking the request.
 func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	var req decodeRequest
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
@@ -265,19 +306,36 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	shard := s.cluster.Owner(ent.scheme)
 
 	switch {
 	case req.Counts != nil && req.Batch != nil:
 		httpError(w, http.StatusBadRequest, "set either counts or batch, not both")
 	case req.Counts != nil:
-		res, err := s.eng.Decode(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Dec: dec})
+		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Dec: dec})
+		if errors.Is(err, engine.ErrSaturated) {
+			rejectSaturated(w, shard)
+			return
+		}
+		if err != nil {
+			httpError(w, decodeStatus(err), "decode: %v", err)
+			return
+		}
+		res, err := fut.Wait(r.Context())
 		if err != nil {
 			httpError(w, decodeStatus(err), "decode: %v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toResponse(res))
 	case req.Batch != nil:
-		results, err := s.eng.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Dec: dec})
+		// Batch admission is a snapshot check: a full queue turns the whole
+		// batch away before any job blocks the handler.
+		if shard.Saturated() {
+			shard.NoteRejected(len(req.Batch))
+			rejectSaturated(w, shard)
+			return
+		}
+		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Dec: dec})
 		if err != nil {
 			httpError(w, decodeStatus(err), "decode batch: %v", err)
 			return
@@ -297,30 +355,135 @@ func decodeStatus(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrSaturated):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusUnprocessableEntity
 	}
 }
 
-// statsResponse is the body of GET /v1/stats: the engine counters (their
-// snake_case json tags) plus server-level fields.
+// campaignRequest is the JSON body of POST /v1/campaigns.
+type campaignRequest struct {
+	Scheme  string    `json:"scheme"`
+	K       int       `json:"k"`
+	Decoder string    `json:"decoder,omitempty"`
+	Batch   [][]int64 `json:"batch"`
+}
+
+// campaignCreated is the 202 body: enough to poll.
+type campaignCreated struct {
+	ID    string `json:"id"`
+	Total int    `json:"total"`
+	State string `json:"state"`
+}
+
+// handleCreateCampaign admits an async batch decode and returns its id
+// immediately; the jobs fan out to the owning shard in the background.
+func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	ent, ok := s.lookup(req.Scheme)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
+		return
+	}
+	dec, err := engine.DecoderByName(req.Decoder)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Batch) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	cp, err := s.campaigns.Create(campaign.Request{Scheme: ent.scheme, Batch: req.Batch, K: req.K, Dec: dec})
+	switch {
+	case errors.Is(err, engine.ErrSaturated):
+		rejectSaturated(w, s.cluster.Owner(ent.scheme))
+	case errors.Is(err, campaign.ErrTooManyCampaigns):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, campaignCreated{ID: cp.ID(), Total: cp.Total(), State: string(campaign.Running)})
+	}
+}
+
+// handleGetCampaign reports campaign progress. ?wait=5s long-polls: the
+// response returns as soon as the campaign finishes, or after the wait
+// elapses with the then-current progress (capped at maxWait).
+func (s *server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	cp, ok := s.campaigns.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad wait parameter: %v", err)
+			return
+		}
+		if wait > s.maxWait {
+			wait = s.maxWait
+		}
+		writeJSON(w, http.StatusOK, cp.Wait(r.Context(), wait))
+		return
+	}
+	writeJSON(w, http.StatusOK, cp.Progress())
+}
+
+func (s *server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": s.campaigns.List()})
+}
+
+// handleCancelCampaign cancels a campaign: queued jobs settle as
+// canceled, in-flight decodes run out. The response is the progress at
+// cancellation time.
+func (s *server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	cp, ok := s.campaigns.Cancel(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, cp.Progress())
+}
+
+// statsResponse is the body of GET /v1/stats: the fleet-wide aggregate
+// counters (their snake_case json tags, histograms merged bucket-wise)
+// flattened at the top level for compatibility, the per-shard
+// breakdown, and server-level fields.
 type statsResponse struct {
 	engine.Stats
-	Schemes  int     `json:"schemes"`
-	UptimeNS int64   `json:"uptime_ns"`
-	AvgQueue float64 `json:"avg_queue_ms"`
-	AvgDec   float64 `json:"avg_decode_ms"`
+	Shards            []engine.ShardStats `json:"shards"`
+	Schemes           int                 `json:"schemes"`
+	CampaignsActive   int                 `json:"campaigns_active"`
+	CampaignsFinished int                 `json:"campaigns_finished"`
+	UptimeNS          int64               `json:"uptime_ns"`
+	AvgQueue          float64             `json:"avg_queue_ms"`
+	AvgDec            float64             `json:"avg_decode_ms"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.Stats()
+	cs := s.cluster.Stats()
 	s.mu.Lock()
 	n := len(s.schemes)
 	s.mu.Unlock()
-	resp := statsResponse{Stats: st, Schemes: n, UptimeNS: int64(time.Since(s.start))}
-	if st.JobsCompleted > 0 {
-		resp.AvgQueue = float64(st.TotalQueueWait.Milliseconds()) / float64(st.JobsCompleted)
-		resp.AvgDec = float64(st.TotalDecodeTime.Milliseconds()) / float64(st.JobsCompleted)
+	active, finished := s.campaigns.Counts()
+	resp := statsResponse{
+		Stats:           cs.Total,
+		Shards:          cs.Shards,
+		Schemes:         n,
+		CampaignsActive: active, CampaignsFinished: finished,
+		UptimeNS: int64(time.Since(s.start)),
+	}
+	if cs.Total.JobsCompleted > 0 {
+		resp.AvgQueue = float64(cs.Total.TotalQueueWait.Milliseconds()) / float64(cs.Total.JobsCompleted)
+		resp.AvgDec = float64(cs.Total.TotalDecodeTime.Milliseconds()) / float64(cs.Total.JobsCompleted)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

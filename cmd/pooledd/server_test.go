@@ -15,16 +15,19 @@ import (
 	"pooleddata/internal/rng"
 )
 
-func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Cluster) {
 	t.Helper()
-	eng := engine.New(engine.Config{CacheCapacity: 4, Workers: 2})
-	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng).handler())
+	cluster := engine.NewCluster(engine.ClusterConfig{
+		Shards: 2,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 2},
+	})
+	t.Cleanup(cluster.Close)
+	ts := httptest.NewServer(newServer(cluster).handler())
 	t.Cleanup(ts.Close)
-	return ts, eng
+	return ts, cluster
 }
 
-func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+func postJSON(t testing.TB, url string, body any, out any) *http.Response {
 	t.Helper()
 	buf, err := json.Marshal(body)
 	if err != nil {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pooleddata/internal/engine"
+	"pooleddata/internal/labio"
+)
+
+// preloadDesigns warm-starts the cluster's scheme caches from labio
+// design CSV files — a lab's standing designs, passed via the -designs
+// flag — so the first request after boot is a cache hit, not a build.
+// Each file is installed on its owning shard under the spec
+// {Design: "file:<cleaned path>", N, M} (the full path, so two labs'
+// identically-named design files never collide), registered under a
+// scheme id, and logged as one line to logw.
+func preloadDesigns(cluster *engine.Cluster, srv *server, paths []string, logw io.Writer) error {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", p, err)
+		}
+		g, err := labio.ReadDesign(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", p, err)
+		}
+		spec := engine.Spec{Design: "file:" + filepath.Clean(p), N: g.N(), M: g.M()}
+		es := cluster.InstallScheme(spec, g)
+		ent := srv.register(es, spec.Design, g.N(), g.M(), 0, false)
+		fmt.Fprintf(logw, "pooledd: preloaded scheme %s from %s (n=%d m=%d shard=%d)\n",
+			ent.ID, p, g.N(), g.M(), es.Home())
+	}
+	return nil
+}

@@ -7,18 +7,30 @@ import (
 	"pooleddata/internal/engine"
 )
 
-// This file is the public face of the reconstruction engine
-// (internal/engine): a scheme cache plus a batched decode pipeline, the
-// one-design/many-signals regime a screening lab or feature-selection
-// service runs. cmd/pooledd serves exactly this API over HTTP.
+// This file is the public face of the reconstruction cluster
+// (internal/engine): N engine shards, each a scheme cache plus a
+// batched decode pipeline, with schemes routed to their owning shard by
+// spec hash — the one-design/many-signals regime a screening lab or
+// feature-selection service runs, partitioned so concurrent designs
+// never evict each other. cmd/pooledd serves exactly this API over
+// HTTP.
 
 // EngineOptions sizes an Engine.
 type EngineOptions struct {
-	// CacheCapacity is the maximum number of cached schemes; 0 means 8.
+	// Shards is the number of engine shards; 0 means 1. Each shard owns a
+	// private scheme cache and worker pool, and a scheme always lives on
+	// the shard its (design, n, m, seed) spec hashes to — size up for
+	// isolation between concurrent designs, down for maximum parallelism
+	// on a single design.
+	Shards int
+	// CacheCapacity is the maximum number of cached schemes per shard;
+	// 0 means 8.
 	CacheCapacity int
-	// Workers is the decode worker-pool size; 0 means GOMAXPROCS.
+	// Workers is the decode worker-pool size per shard; 0 splits
+	// GOMAXPROCS evenly across the shards (at least one each).
 	Workers int
-	// QueueDepth bounds the pending decode queue; 0 means 4·Workers.
+	// QueueDepth bounds each shard's pending decode queue; 0 means
+	// 4·Workers.
 	QueueDepth int
 }
 
@@ -38,12 +50,50 @@ type EngineStats struct {
 	JobsCanceled  uint64
 	Consistent    uint64
 
+	// JobsRejected counts decode jobs refused by admission control
+	// because the owning shard's queue was saturated.
+	JobsRejected uint64
+
 	// Signals evaluated through the batched measurement path.
 	SignalsMeasured uint64
 
 	// Cumulative queue wait and decode time over completed jobs.
 	TotalQueueWait  time.Duration
 	TotalDecodeTime time.Duration
+
+	// DecodeLatency are per-decoder latency histograms (merged across
+	// shards), keyed by decoder name.
+	DecodeLatency map[string]LatencyHistogram
+
+	// Shards is the per-shard breakdown, one entry per engine shard.
+	Shards []ShardStats
+}
+
+// LatencyHistogram is a bounded-bucket latency distribution: Counts has
+// one bucket per BucketUpper edge plus a final overflow bucket.
+type LatencyHistogram struct {
+	// Count is the number of observations; Total their sum.
+	Count uint64
+	Total time.Duration
+	// BucketUpper are the inclusive upper edges; len(Counts) is
+	// len(BucketUpper)+1.
+	BucketUpper []time.Duration
+	Counts      []uint64
+}
+
+// ShardStats is one engine shard's view: cache and pipeline counters
+// plus live queue gauges.
+type ShardStats struct {
+	// Shard is the shard index (what Spec hashes route to).
+	Shard int
+	// QueueDepth is the number of queued jobs right now; QueueCapacity
+	// the configured bound; Workers the shard's pool size.
+	QueueDepth, QueueCapacity, Workers int
+	// CachedSchemes counts the shard's resident schemes.
+	CachedSchemes int
+
+	SchemesBuilt, CacheHits, Evictions         uint64
+	JobsSubmitted, JobsCompleted, JobsRejected uint64
 }
 
 // DecodeResult is one pipelined reconstruction plus its per-job stats.
@@ -62,30 +112,37 @@ type DecodeResult struct {
 	Consistent bool
 }
 
-// Engine amortizes design construction across requests (an LRU scheme
-// cache with build deduplication) and pipelines decode jobs through a
-// bounded worker pool. Safe for concurrent use; release the workers with
-// Close when done.
+// Engine is a sharded reconstruction cluster: it amortizes design
+// construction across requests (per-shard LRU scheme caches with build
+// deduplication), pipelines decode jobs through each shard's bounded
+// worker pool, and routes every scheme to the shard owning its spec
+// hash. Safe for concurrent use; release the workers with Close when
+// done.
 type Engine struct {
-	inner *engine.Engine
+	inner *engine.Cluster
 }
 
-// NewEngine starts an engine.
+// NewEngine starts an engine cluster.
 func NewEngine(opts EngineOptions) *Engine {
-	return &Engine{inner: engine.New(engine.Config{
-		CacheCapacity: opts.CacheCapacity,
-		Workers:       opts.Workers,
-		QueueDepth:    opts.QueueDepth,
+	return &Engine{inner: engine.NewCluster(engine.ClusterConfig{
+		Shards: opts.Shards,
+		Shard: engine.Config{
+			CacheCapacity: opts.CacheCapacity,
+			Workers:       opts.Workers,
+			QueueDepth:    opts.QueueDepth,
+		},
 	})}
 }
 
-// Close drains the decode queue and stops the workers.
+// Close drains every shard's decode queue and stops the workers.
 func (e *Engine) Close() { e.inner.Close() }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the cluster counters: the fleet-wide
+// aggregate plus the per-shard breakdown.
 func (e *Engine) Stats() EngineStats {
-	st := e.inner.Stats()
-	return EngineStats{
+	cs := e.inner.Stats()
+	st := cs.Total
+	out := EngineStats{
 		SchemesBuilt:    st.SchemesBuilt,
 		CacheHits:       st.CacheHits,
 		BuildsDeduped:   st.BuildsDeduped,
@@ -94,11 +151,48 @@ func (e *Engine) Stats() EngineStats {
 		JobsCompleted:   st.JobsCompleted,
 		JobsFailed:      st.JobsFailed,
 		JobsCanceled:    st.JobsCanceled,
+		JobsRejected:    st.JobsRejected,
 		Consistent:      st.Consistent,
 		SignalsMeasured: st.SignalsMeasured,
 		TotalQueueWait:  st.TotalQueueWait,
 		TotalDecodeTime: st.TotalDecodeTime,
+		Shards:          make([]ShardStats, len(cs.Shards)),
 	}
+	if len(st.DecodeLatency) > 0 {
+		out.DecodeLatency = make(map[string]LatencyHistogram, len(st.DecodeLatency))
+		for name, h := range st.DecodeLatency {
+			out.DecodeLatency[name] = fromEngineHistogram(h)
+		}
+	}
+	for i, sh := range cs.Shards {
+		out.Shards[i] = ShardStats{
+			Shard:         sh.Shard,
+			QueueDepth:    sh.QueueDepth,
+			QueueCapacity: sh.QueueCapacity,
+			Workers:       sh.Workers,
+			CachedSchemes: sh.CachedSchemes,
+			SchemesBuilt:  sh.SchemesBuilt,
+			CacheHits:     sh.CacheHits,
+			Evictions:     sh.Evictions,
+			JobsSubmitted: sh.JobsSubmitted,
+			JobsCompleted: sh.JobsCompleted,
+			JobsRejected:  sh.JobsRejected,
+		}
+	}
+	return out
+}
+
+func fromEngineHistogram(h engine.LatencyHistogram) LatencyHistogram {
+	out := LatencyHistogram{
+		Count:       h.Count,
+		Total:       time.Duration(h.TotalNS),
+		BucketUpper: make([]time.Duration, len(h.BucketUpperNS)),
+		Counts:      append([]uint64(nil), h.Counts...),
+	}
+	for i, ub := range h.BucketUpperNS {
+		out.BucketUpper[i] = time.Duration(ub)
+	}
+	return out
 }
 
 // Scheme returns the cached scheme for (n, m, opts), building it at most

@@ -92,3 +92,66 @@ func TestEngineDecodeAndStats(t *testing.T) {
 		t.Fatal("engine decode of ad-hoc scheme differs from Reconstruct")
 	}
 }
+
+func TestShardedEngineFacade(t *testing.T) {
+	eng := NewEngine(EngineOptions{Shards: 3, CacheCapacity: 2, Workers: 1})
+	defer eng.Close()
+
+	n, k, m := 300, 5, 240
+	// Distinct seeds land on (generally) distinct shards; every scheme
+	// keeps pointer identity on repeat requests regardless of placement.
+	schemes := make(map[uint64]*Scheme)
+	for seed := uint64(1); seed <= 4; seed++ {
+		s, err := eng.Scheme(n, m, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemes[seed] = s
+	}
+	for seed, s := range schemes {
+		again, err := eng.Scheme(n, m, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != s {
+			t.Fatalf("seed %d: sharded cache hit returned a different *Scheme", seed)
+		}
+	}
+
+	// Decodes route to the owning shard and still recover the signal.
+	sig := make([]bool, n)
+	for _, i := range rng.NewRandSeeded(77).SampleK(n, k) {
+		sig[i] = true
+	}
+	y := schemes[1].Measure(sig)
+	res, err := eng.Decode(context.Background(), schemes[1], y, k, MN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatalf("sharded decode inconsistent: %+v", res)
+	}
+
+	st := eng.Stats()
+	if len(st.Shards) != 3 {
+		t.Fatalf("got %d shard breakdowns, want 3", len(st.Shards))
+	}
+	var built, completed uint64
+	for _, sh := range st.Shards {
+		built += sh.SchemesBuilt
+		completed += sh.JobsCompleted
+	}
+	if built != st.SchemesBuilt || built != 4 {
+		t.Fatalf("shard builds sum %d, aggregate %d, want 4", built, st.SchemesBuilt)
+	}
+	if completed != st.JobsCompleted || completed != 1 {
+		t.Fatalf("shard completions sum %d, aggregate %d, want 1", completed, st.JobsCompleted)
+	}
+	h, ok := st.DecodeLatency["mn"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("facade latency histogram = %+v (ok=%v), want one mn observation", h, ok)
+	}
+	if len(h.Counts) != len(h.BucketUpper)+1 {
+		t.Fatalf("histogram shape: %d counts for %d edges", len(h.Counts), len(h.BucketUpper))
+	}
+}

@@ -1,0 +1,448 @@
+// Package campaign is the asynchronous batch-decoding subsystem behind
+// pooledd's /v1/campaigns API: a campaign is a batch of measured count
+// vectors decoded against one cached scheme through the engine cluster.
+// Submission returns immediately; jobs fan out to the scheme's owning
+// shard with per-job completion callbacks, progress counters update as
+// jobs settle, and clients long-poll (or cancel) the campaign by id.
+//
+// This is the service form of the paper's operational premise: the
+// pooled measurement round is the expensive step, so a lab submits a
+// whole plate of count vectors at once and collects reconstructions as
+// the cluster drains them.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pooleddata/internal/decoder"
+	"pooleddata/internal/engine"
+)
+
+// Config sizes a Store.
+type Config struct {
+	// MaxActive bounds concurrently unfinished campaigns; 0 means 64.
+	MaxActive int
+	// Retention is how long finished campaigns stay queryable before GC;
+	// 0 means 10 minutes.
+	Retention time.Duration
+	// MaxFinished bounds retained finished campaigns regardless of age;
+	// 0 means 256.
+	MaxFinished int
+}
+
+func (c Config) maxActive() int {
+	if c.MaxActive <= 0 {
+		return 64
+	}
+	return c.MaxActive
+}
+
+func (c Config) retention() time.Duration {
+	if c.Retention <= 0 {
+		return 10 * time.Minute
+	}
+	return c.Retention
+}
+
+func (c Config) maxFinished() int {
+	if c.MaxFinished <= 0 {
+		return 256
+	}
+	return c.MaxFinished
+}
+
+// State is a campaign's lifecycle phase.
+type State string
+
+const (
+	// Running means jobs are still queued or decoding.
+	Running State = "running"
+	// Done means every job settled and the campaign was not canceled.
+	Done State = "done"
+	// Canceled means Cancel was called; jobs settle as canceled unless a
+	// worker had already started (those still complete).
+	Canceled State = "canceled"
+)
+
+// JobResult is one settled decode job of a campaign.
+type JobResult struct {
+	// Index is the job's position in the submitted batch.
+	Index int `json:"index"`
+	// Support is the recovered one-entry index set (successful jobs).
+	Support []int `json:"support,omitempty"`
+	// Residual is the L1 misfit of the estimate against the counts.
+	Residual int64 `json:"residual"`
+	// Consistent reports whether the estimate reproduces the counts.
+	Consistent bool `json:"consistent"`
+	// DecodeNS is the time spent inside the decoder.
+	DecodeNS int64 `json:"decode_ns"`
+	// Error is set for failed or canceled jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// Progress is a point-in-time view of a campaign. Completed, Failed,
+// and Canceled are monotone: they only grow until their sum reaches
+// Total.
+type Progress struct {
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	// Results are the settled jobs so far, ascending by Index.
+	Results []JobResult `json:"results"`
+}
+
+// Settled is the number of jobs that have reached a terminal state.
+func (p Progress) Settled() int { return p.Completed + p.Failed + p.Canceled }
+
+// Terminal reports whether the campaign can no longer change.
+func (p Progress) Terminal() bool { return p.State != Running }
+
+// Campaign is one asynchronous batch decode. All methods are safe for
+// concurrent use.
+type Campaign struct {
+	id     string
+	total  int
+	cancel context.CancelFunc
+
+	mu           sync.Mutex
+	canceledFlag bool
+	completed    int
+	failed       int
+	canceledJobs int
+	results      []JobResult
+	changed      chan struct{} // closed and replaced on every update
+	finished     time.Time     // set when the last job settles
+}
+
+// ID returns the campaign id.
+func (cp *Campaign) ID() string { return cp.id }
+
+// Total returns the number of submitted jobs.
+func (cp *Campaign) Total() int { return cp.total }
+
+func (cp *Campaign) stateLocked() State {
+	switch {
+	case cp.canceledFlag:
+		return Canceled
+	case cp.completed+cp.failed+cp.canceledJobs == cp.total:
+		return Done
+	default:
+		return Running
+	}
+}
+
+func (cp *Campaign) progressLocked() Progress {
+	p := Progress{
+		ID: cp.id, State: cp.stateLocked(), Total: cp.total,
+		Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
+		Results: append([]JobResult(nil), cp.results...),
+	}
+	sort.Slice(p.Results, func(i, j int) bool { return p.Results[i].Index < p.Results[j].Index })
+	return p
+}
+
+// Progress snapshots the campaign.
+func (cp *Campaign) Progress() Progress {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.progressLocked()
+}
+
+// notifyLocked wakes every long-poll waiter.
+func (cp *Campaign) notifyLocked() {
+	close(cp.changed)
+	cp.changed = make(chan struct{})
+}
+
+// settle records one job outcome. It runs on engine worker goroutines
+// (via Job.OnDone) and on the dispatcher for jobs that never enqueued.
+func (cp *Campaign) settle(idx int, res engine.Result, err error) {
+	jr := JobResult{Index: idx}
+	canceled := false
+	switch {
+	case err == nil:
+		jr.Support = res.Support
+		jr.Residual = res.Stats.Residual
+		jr.Consistent = res.Stats.Consistent
+		jr.DecodeNS = int64(res.Stats.DecodeTime)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		canceled = true
+		jr.Error = err.Error()
+	default:
+		jr.Error = err.Error()
+	}
+
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	switch {
+	case err == nil:
+		cp.completed++
+	case canceled:
+		cp.canceledJobs++
+	default:
+		cp.failed++
+	}
+	cp.results = append(cp.results, jr)
+	if cp.completed+cp.failed+cp.canceledJobs == cp.total {
+		cp.finished = time.Now()
+	}
+	cp.notifyLocked()
+}
+
+// Cancel stops the campaign: queued jobs settle as canceled (their
+// shared context is dead before a worker picks them up); jobs already
+// inside a decoder run to completion and still count. Canceling a
+// campaign whose jobs have all settled is a no-op — Done stays Done.
+func (cp *Campaign) Cancel() {
+	cp.cancel()
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if !cp.canceledFlag && cp.completed+cp.failed+cp.canceledJobs < cp.total {
+		cp.canceledFlag = true
+		cp.notifyLocked()
+	}
+}
+
+// Wait long-polls the campaign: it returns the current progress as soon
+// as the campaign is terminal with all jobs settled, or after d has
+// elapsed (or ctx fired), whichever comes first. Intermediate updates
+// re-arm the wait, so a sequence of Wait calls observes monotonically
+// increasing Settled().
+func (cp *Campaign) Wait(ctx context.Context, d time.Duration) Progress {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		cp.mu.Lock()
+		if cp.completed+cp.failed+cp.canceledJobs == cp.total {
+			p := cp.progressLocked()
+			cp.mu.Unlock()
+			return p
+		}
+		ch := cp.changed
+		cp.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			return cp.Progress()
+		case <-ctx.Done():
+			return cp.Progress()
+		}
+	}
+}
+
+// finishedAt returns when the last job settled (zero while running).
+func (cp *Campaign) finishedAt() time.Time {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.finished
+}
+
+// ErrTooManyCampaigns is returned by Create when MaxActive campaigns
+// are already unfinished — the campaign-level admission-control signal.
+var ErrTooManyCampaigns = errors.New("campaign: too many active campaigns")
+
+// Request describes a campaign submission.
+type Request struct {
+	// Scheme is the cached scheme every job decodes against.
+	Scheme *engine.Scheme
+	// Batch holds one measured count vector per job.
+	Batch [][]int64
+	// K is the signal Hamming weight.
+	K int
+	// Dec selects the decoder; nil means the MN-Algorithm.
+	Dec decoder.Decoder
+}
+
+// Store owns campaign lifecycle: creation (with admission control
+// against the owning shard's queue), lookup, cancellation, and GC of
+// finished campaigns.
+type Store struct {
+	cluster *engine.Cluster
+	cfg     Config
+
+	mu     sync.Mutex
+	nextID int
+	byID   map[string]*Campaign
+}
+
+// NewStore creates a Store over the cluster.
+func NewStore(cluster *engine.Cluster, cfg Config) *Store {
+	return &Store{cluster: cluster, cfg: cfg, byID: make(map[string]*Campaign)}
+}
+
+// Create validates and admits a campaign, then fans its jobs out
+// asynchronously and returns immediately. It returns
+// engine.ErrSaturated when the owning shard's decode queue is full
+// (the rejected jobs count toward that shard's Stats.JobsRejected) and
+// ErrTooManyCampaigns when MaxActive campaigns are already running.
+func (st *Store) Create(req Request) (*Campaign, error) {
+	if req.Scheme == nil || req.Scheme.G == nil {
+		return nil, fmt.Errorf("campaign: no scheme")
+	}
+	if len(req.Batch) == 0 {
+		return nil, fmt.Errorf("campaign: empty batch")
+	}
+	if req.K < 0 || req.K > req.Scheme.G.N() {
+		return nil, fmt.Errorf("campaign: weight k=%d out of [0,%d]", req.K, req.Scheme.G.N())
+	}
+	m := req.Scheme.G.M()
+	for i, y := range req.Batch {
+		if len(y) != m {
+			return nil, fmt.Errorf("campaign: job %d has %d counts for %d queries", i, len(y), m)
+		}
+	}
+	// Admission control: a saturated owning shard rejects the whole batch
+	// up front instead of buffering it behind an already-full queue.
+	shard := st.cluster.Owner(req.Scheme)
+	if shard.Saturated() {
+		shard.NoteRejected(len(req.Batch))
+		return nil, engine.ErrSaturated
+	}
+
+	st.mu.Lock()
+	st.gcLocked(time.Now())
+	if st.activeLocked() >= st.cfg.maxActive() {
+		st.mu.Unlock()
+		return nil, ErrTooManyCampaigns
+	}
+	st.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	cp := &Campaign{
+		id:      fmt.Sprintf("c%d", st.nextID),
+		total:   len(req.Batch),
+		cancel:  cancel,
+		changed: make(chan struct{}),
+	}
+	st.byID[cp.id] = cp
+	st.mu.Unlock()
+
+	go st.dispatch(ctx, cp, req)
+	return cp, nil
+}
+
+// dispatch feeds the campaign's jobs to the owning shard. Submit blocks
+// on a full queue — backpressure, not rejection, once a campaign is
+// admitted — and a canceled campaign context settles the remaining jobs
+// without enqueueing them.
+func (st *Store) dispatch(ctx context.Context, cp *Campaign, req Request) {
+	for i, y := range req.Batch {
+		idx := i
+		job := engine.Job{
+			Scheme: req.Scheme, Y: y, K: req.K, Dec: req.Dec,
+			OnDone: func(res engine.Result, err error) { cp.settle(idx, res, err) },
+		}
+		if _, err := st.cluster.Submit(ctx, job); err != nil {
+			// Never enqueued: the worker will not call OnDone.
+			cp.settle(idx, engine.Result{}, err)
+		}
+	}
+}
+
+// Get returns the campaign with the given id.
+func (st *Store) Get(id string) (*Campaign, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cp, ok := st.byID[id]
+	return cp, ok
+}
+
+// Cancel cancels the campaign with the given id.
+func (st *Store) Cancel(id string) (*Campaign, bool) {
+	cp, ok := st.Get(id)
+	if ok {
+		cp.Cancel()
+	}
+	return cp, ok
+}
+
+// List snapshots every retained campaign, ascending by numeric id. The
+// snapshots carry counters only (Results nil): a listing of hundreds of
+// finished campaigns must not copy every settled job; fetch one
+// campaign by id for its results.
+func (st *Store) List() []Progress {
+	st.mu.Lock()
+	cps := make([]*Campaign, 0, len(st.byID))
+	for _, cp := range st.byID {
+		cps = append(cps, cp)
+	}
+	st.mu.Unlock()
+	out := make([]Progress, len(cps))
+	for i, cp := range cps {
+		out[i] = cp.Progress()
+		out[i].Results = nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return campaignSeq(out[i].ID) < campaignSeq(out[j].ID)
+	})
+	return out
+}
+
+func campaignSeq(id string) int {
+	var n int
+	fmt.Sscanf(id, "c%d", &n)
+	return n
+}
+
+// Counts reports (active, finished) retained campaigns.
+func (st *Store) Counts() (active, finished int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a := st.activeLocked()
+	return a, len(st.byID) - a
+}
+
+func (st *Store) activeLocked() int {
+	n := 0
+	for _, cp := range st.byID {
+		if cp.finishedAt().IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// GC drops finished campaigns older than the retention window and, past
+// MaxFinished, the oldest finished ones regardless of age. It returns
+// the number collected. Create runs it opportunistically.
+func (st *Store) GC(now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gcLocked(now)
+}
+
+func (st *Store) gcLocked(now time.Time) int {
+	type fin struct {
+		id string
+		at time.Time
+	}
+	var finished []fin
+	collected := 0
+	for id, cp := range st.byID {
+		at := cp.finishedAt()
+		if at.IsZero() {
+			continue
+		}
+		if now.Sub(at) > st.cfg.retention() {
+			delete(st.byID, id)
+			collected++
+			continue
+		}
+		finished = append(finished, fin{id, at})
+	}
+	if over := len(finished) - st.cfg.maxFinished(); over > 0 {
+		sort.Slice(finished, func(i, j int) bool { return finished[i].at.Before(finished[j].at) })
+		for _, f := range finished[:over] {
+			delete(st.byID, f.id)
+			collected++
+		}
+	}
+	return collected
+}

@@ -1,0 +1,270 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+)
+
+func testCluster(t *testing.T, shards, workers, queue int) *engine.Cluster {
+	t.Helper()
+	c := engine.NewCluster(engine.ClusterConfig{
+		Shards: shards,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: workers, QueueDepth: queue},
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+// testBatch builds a scheme plus a measured batch with known signals.
+func testBatch(t *testing.T, c *engine.Cluster, n, k, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64) {
+	t.Helper()
+	s, err := c.Scheme(nil, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make([]*bitvec.Vector, batch)
+	ys := make([][]int64, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(seed+uint64(100+b)))
+		ys[b] = query.Execute(s.G, signals[b], query.Options{}).Y
+	}
+	return s, signals, ys
+}
+
+func TestCampaignLifecycle(t *testing.T) {
+	c := testCluster(t, 2, 2, 0)
+	st := NewStore(c, Config{})
+	const n, k, m, batch = 300, 5, 240, 8
+	s, signals, ys := testBatch(t, c, n, k, m, batch, 3)
+
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Total() != batch {
+		t.Fatalf("total = %d, want %d", cp.Total(), batch)
+	}
+
+	// Progress is monotone across repeated polls until terminal.
+	last := -1
+	deadline := time.Now().Add(10 * time.Second)
+	var p Progress
+	for {
+		p = cp.Wait(context.Background(), 10*time.Millisecond)
+		if p.Settled() < last {
+			t.Fatalf("progress went backwards: %d after %d", p.Settled(), last)
+		}
+		last = p.Settled()
+		if p.Terminal() && p.Settled() == p.Total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish: %+v", p)
+		}
+	}
+	if p.State != Done || p.Completed != batch || p.Failed != 0 || p.Canceled != 0 {
+		t.Fatalf("final progress = %+v", p)
+	}
+	if len(p.Results) != batch {
+		t.Fatalf("got %d results", len(p.Results))
+	}
+	for i, res := range p.Results {
+		if res.Index != i {
+			t.Fatalf("result %d has index %d", i, res.Index)
+		}
+		if !res.Consistent || res.Error != "" {
+			t.Fatalf("result %d: %+v", i, res)
+		}
+		if !bitvec.FromIndices(n, res.Support).Equal(signals[i]) {
+			t.Fatalf("result %d did not recover its signal", i)
+		}
+	}
+
+	// A late cancel on a finished campaign is a no-op: Done stays Done.
+	cp.Cancel()
+	if got := cp.Progress().State; got != Done {
+		t.Fatalf("state after late cancel = %q, want done", got)
+	}
+
+	if got, ok := st.Get(cp.ID()); !ok || got != cp {
+		t.Fatal("Get lost the campaign")
+	}
+	list := st.List()
+	if len(list) != 1 || list[0].ID != cp.ID() {
+		t.Fatalf("List = %+v", list)
+	}
+	if list[0].Results != nil {
+		t.Fatal("List carried per-job results")
+	}
+	if a, f := st.Counts(); a != 0 || f != 1 {
+		t.Fatalf("counts = (%d active, %d finished), want (0, 1)", a, f)
+	}
+}
+
+// stallDecoder blocks until released, then returns the all-zero
+// estimate (the estimate itself is irrelevant to these tests).
+type stallDecoder struct{ release <-chan struct{} }
+
+func (stallDecoder) Name() string { return "stall" }
+
+func (d stallDecoder) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, error) {
+	<-d.release
+	return bitvec.New(g.N()), nil
+}
+
+func TestCampaignCancel(t *testing.T) {
+	c := testCluster(t, 1, 1, 4)
+	st := NewStore(c, Config{})
+	const n, k, m, batch = 80, 2, 60, 4
+	s, _, ys := testBatch(t, c, n, k, m, batch, 7)
+
+	release := make(chan struct{})
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Dec: stallDecoder{release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the single worker start the first job, then cancel: the worker
+	// finishes its in-flight decode, the queued jobs settle as canceled.
+	deadline := time.Now().Add(time.Second)
+	for c.Shard(0).Stats().JobsSubmitted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cp.Cancel()
+	close(release)
+
+	p := cp.Wait(context.Background(), 5*time.Second)
+	if p.State != Canceled {
+		t.Fatalf("state = %q, want canceled", p.State)
+	}
+	if p.Settled() != batch {
+		t.Fatalf("settled = %d, want %d", p.Settled(), batch)
+	}
+	if p.Canceled == 0 {
+		t.Fatalf("no jobs settled as canceled: %+v", p)
+	}
+	// Cancel is idempotent.
+	cp.Cancel()
+	if a, f := st.Counts(); a != 0 || f != 1 {
+		t.Fatalf("counts = (%d, %d), want (0, 1)", a, f)
+	}
+}
+
+func TestCampaignAdmissionControl(t *testing.T) {
+	c := testCluster(t, 1, 1, 1)
+	st := NewStore(c, Config{MaxActive: 1})
+	const n, k, m = 80, 2, 60
+	s, _, ys := testBatch(t, c, n, k, m, 2, 9)
+
+	// Wedge the worker and fill the queue directly.
+	release := make(chan struct{})
+	defer close(release)
+	shard := c.Owner(s)
+	if _, err := shard.Submit(context.Background(), engine.Job{Scheme: s, Y: ys[0], K: k, Dec: stallDecoder{release}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for shard.QueueDepth() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := shard.Submit(context.Background(), engine.Job{Scheme: s, Y: ys[0], K: k, Dec: stallDecoder{release}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k}); !errors.Is(err, engine.ErrSaturated) {
+		t.Fatalf("create on saturated shard: err = %v, want ErrSaturated", err)
+	}
+	if got := shard.Stats().JobsRejected; got != 2 {
+		t.Fatalf("jobs rejected = %d, want 2 (whole batch)", got)
+	}
+}
+
+func TestCampaignMaxActive(t *testing.T) {
+	c := testCluster(t, 1, 1, 8)
+	st := NewStore(c, Config{MaxActive: 1})
+	const n, k, m = 80, 2, 60
+	s, _, ys := testBatch(t, c, n, k, m, 2, 11)
+
+	release := make(chan struct{})
+	first, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Dec: stallDecoder{release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k}); !errors.Is(err, ErrTooManyCampaigns) {
+		t.Fatalf("second active campaign: err = %v, want ErrTooManyCampaigns", err)
+	}
+	close(release)
+	first.Wait(context.Background(), 5*time.Second)
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k}); err != nil {
+		t.Fatalf("create after first finished: %v", err)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	c := testCluster(t, 1, 1, 0)
+	st := NewStore(c, Config{})
+	s, _, ys := testBatch(t, c, 80, 2, 60, 1, 13)
+	if _, err := st.Create(Request{Batch: ys, K: 2}); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+	if _, err := st.Create(Request{Scheme: s, K: 2}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := st.Create(Request{Scheme: s, Batch: [][]int64{{1, 2}}, K: 2}); err == nil {
+		t.Fatal("short count vector accepted")
+	}
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: -1}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: 81}); err == nil {
+		t.Fatal("out-of-range k accepted")
+	}
+}
+
+func TestCampaignGC(t *testing.T) {
+	c := testCluster(t, 1, 1, 0)
+	st := NewStore(c, Config{Retention: time.Nanosecond})
+	const n, k, m = 80, 2, 60
+	s, _, ys := testBatch(t, c, n, k, m, 2, 15)
+
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Wait(context.Background(), 5*time.Second)
+	if got := st.GC(time.Now().Add(time.Second)); got != 1 {
+		t.Fatalf("GC collected %d campaigns, want 1", got)
+	}
+	if _, ok := st.Get(cp.ID()); ok {
+		t.Fatal("finished campaign survived GC past retention")
+	}
+
+	// MaxFinished bounds retained campaigns regardless of age.
+	st2 := NewStore(c, Config{MaxFinished: 1, Retention: time.Hour})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		cp, err := st2.Create(Request{Scheme: s, Batch: ys, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp.Wait(context.Background(), 5*time.Second)
+		ids = append(ids, cp.ID())
+	}
+	st2.GC(time.Now())
+	live := 0
+	for _, id := range ids {
+		if _, ok := st2.Get(id); ok {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d finished campaigns retained, want 1", live)
+	}
+}

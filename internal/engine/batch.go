@@ -12,7 +12,7 @@ import (
 // across the batch (the one-design/many-signals regime of a screening
 // campaign). Row b of the result is the exact count vector of signal b.
 func (e *Engine) MeasureBatch(s *Scheme, signals []*bitvec.Vector) [][]int64 {
-	ys := query.ExecuteBatch(s.G, signals, e.workerCount())
+	ys := query.ExecuteBatch(s.G, signals, e.Workers())
 	e.stats.signalsMeasured.Add(uint64(len(signals)))
 	return ys
 }

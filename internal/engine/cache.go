@@ -36,12 +36,21 @@ type Scheme struct {
 	// G is the pooling graph. Immutable after construction.
 	G *graph.Bipartite
 
+	// home is the index of the engine shard owning this scheme inside a
+	// Cluster (0 for standalone engines). Set at construction, before the
+	// scheme is published, so routing never races.
+	home int
+
 	qmatOnce sync.Once
 	qmat     *sparse.CSR
 
 	extOnce sync.Once
 	ext     any
 }
+
+// Home reports the cluster shard that owns this scheme (0 when the
+// scheme came from a standalone Engine).
+func (s *Scheme) Home() int { return s.home }
 
 // Ext returns the caller-side wrapper attached to this scheme, creating
 // it with make on first use. Front-ends (the public pooled.Engine) use it
@@ -82,6 +91,7 @@ func (en *cacheEntry) done() bool {
 type cache struct {
 	mu      sync.Mutex
 	cap     int
+	home    int // shard index stamped on every scheme this cache creates
 	bys     map[Spec]*list.Element
 	lru     *list.List // front = most recently used; values are *cacheEntry
 	metrics *counters
@@ -125,12 +135,30 @@ func (c *cache) get(spec Spec, build func() (*graph.Bipartite, error)) (*Scheme,
 			c.lru.Remove(el)
 		}
 	} else {
-		ent.scheme = &Scheme{Spec: spec, G: g}
+		ent.scheme = &Scheme{Spec: spec, G: g, home: c.home}
 		c.metrics.schemesBuilt.Add(1)
 	}
 	c.mu.Unlock()
 	close(ent.ready)
 	return ent.scheme, ent.err
+}
+
+// put installs a prebuilt graph under spec as a completed entry,
+// replacing any existing entry for that spec (in-flight builds keep
+// serving their waiters; the map simply points at the new entry). This
+// is the warm-start path, so no build counters move.
+func (c *cache) put(spec Spec, g *graph.Bipartite) *Scheme {
+	ent := &cacheEntry{spec: spec, ready: make(chan struct{}), scheme: &Scheme{Spec: spec, G: g, home: c.home}}
+	close(ent.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.bys[spec]; ok {
+		c.lru.Remove(el)
+		delete(c.bys, spec)
+	}
+	c.bys[spec] = c.lru.PushFront(ent)
+	c.evictLocked()
+	return ent.scheme
 }
 
 // evictLocked trims the cache to capacity, oldest first, skipping entries

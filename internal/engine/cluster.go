@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync/atomic"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/pooling"
+)
+
+// ClusterConfig sizes a Cluster.
+type ClusterConfig struct {
+	// Shards is the number of engine shards; 0 means 1.
+	Shards int
+	// Shard sizes each shard: its scheme cache, worker pool, and decode
+	// queue are all private to the shard. A zero Shard.Workers splits
+	// GOMAXPROCS evenly across the shards (at least one worker each)
+	// rather than giving every shard a full GOMAXPROCS pool.
+	Shard Config
+}
+
+func (c ClusterConfig) shards() int {
+	if c.Shards <= 0 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Cluster shards the reconstruction engine: N independent Engines, each
+// with its own scheme cache and decode worker pool. Schemes are routed
+// to the owning shard by an FNV-1a hash of the canonical spec key
+// (design, n, m, seed), so one tenant's design can never evict another
+// tenant's cached scheme or starve its decode queue — the partitioned
+// form of the paper's one-design/many-signals regime (fix the design,
+// parallelize the per-signal work; shard by design so tenants compose).
+//
+// A Cluster exposes the same operational surface as a single Engine
+// (Scheme, Submit, Decode, DecodeBatch, MeasureBatch, Stats, Close);
+// jobs carry their scheme, and the scheme remembers its owning shard.
+type Cluster struct {
+	shards []*Engine
+	next   atomic.Uint64 // round-robin placement of ad-hoc schemes
+}
+
+// NewCluster starts cfg.Shards engine shards.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Shard.Workers <= 0 {
+		w := runtime.GOMAXPROCS(0) / cfg.shards()
+		if w < 1 {
+			w = 1
+		}
+		cfg.Shard.Workers = w
+	}
+	c := &Cluster{shards: make([]*Engine, cfg.shards())}
+	for i := range c.shards {
+		e := New(cfg.Shard)
+		e.cache.home = i // before first use: schemes stamp their owner
+		c.shards[i] = e
+	}
+	return c
+}
+
+// Close closes every shard, draining their queues.
+func (c *Cluster) Close() {
+	for _, e := range c.shards {
+		e.Close()
+	}
+}
+
+// Shards reports the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard returns shard i (stats, tests, warm-start logging).
+func (c *Cluster) Shard(i int) *Engine { return c.shards[i] }
+
+// ShardOf reports the index of the shard owning spec: an FNV-1a hash of
+// the canonical spec key modulo the shard count.
+func (c *Cluster) ShardOf(spec Spec) int { return shardIndex(spec, len(c.shards)) }
+
+func shardIndex(spec Spec, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d", spec.Design, spec.N, spec.M, spec.Seed)
+	return int(h.Sum64() % uint64(n))
+}
+
+// Owner returns the shard that owns s. Schemes from outside the cluster
+// (a standalone Engine, a zero wrapper) fall back to shard 0.
+func (c *Cluster) Owner(s *Scheme) *Engine {
+	i := s.home
+	if i < 0 || i >= len(c.shards) {
+		i = 0
+	}
+	return c.shards[i]
+}
+
+// Scheme routes the (design, n, m, seed) request to the owning shard's
+// cache. The sharing guarantees of Engine.Scheme hold per shard: repeat
+// requests return the identical pointer, concurrent builds dedupe.
+func (c *Cluster) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, error) {
+	if des == nil {
+		des = pooling.RandomRegular{}
+	}
+	return c.shards[c.ShardOf(SpecFor(des, n, m, seed))].Scheme(des, n, m, seed)
+}
+
+// SchemeFromGraph wraps a prebuilt design as an uncached scheme and
+// assigns it a shard round-robin, spreading ad-hoc uploads over the
+// fleet.
+func (c *Cluster) SchemeFromGraph(g *graph.Bipartite) *Scheme {
+	i := int((c.next.Add(1) - 1) % uint64(len(c.shards)))
+	s := c.shards[i].SchemeFromGraph(g)
+	s.home = i // before the scheme is published
+	return s
+}
+
+// InstallScheme warm-starts the owning shard's cache with a prebuilt
+// design under spec (the -designs boot path of pooledd).
+func (c *Cluster) InstallScheme(spec Spec, g *graph.Bipartite) *Scheme {
+	return c.shards[c.ShardOf(spec)].InstallScheme(spec, g)
+}
+
+// Submit enqueues the job on its scheme's owning shard.
+func (c *Cluster) Submit(ctx context.Context, job Job) (*Future, error) {
+	if err := validateJob(job); err != nil {
+		return nil, err
+	}
+	return c.Owner(job.Scheme).Submit(ctx, job)
+}
+
+// TrySubmit is Submit with admission control: a saturated shard queue
+// returns ErrSaturated instead of blocking.
+func (c *Cluster) TrySubmit(ctx context.Context, job Job) (*Future, error) {
+	if err := validateJob(job); err != nil {
+		return nil, err
+	}
+	return c.Owner(job.Scheme).TrySubmit(ctx, job)
+}
+
+// Decode runs one job through its owning shard's pipeline.
+func (c *Cluster) Decode(ctx context.Context, job Job) (Result, error) {
+	if err := validateJob(job); err != nil {
+		return Result{}, err
+	}
+	return c.Owner(job.Scheme).Decode(ctx, job)
+}
+
+// DecodeBatch pipelines the batch through the scheme's owning shard.
+func (c *Cluster) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int, job Job) ([]Result, error) {
+	return c.Owner(s).DecodeBatch(ctx, s, ys, k, job)
+}
+
+// MeasureBatch evaluates the signals on the scheme's owning shard.
+func (c *Cluster) MeasureBatch(s *Scheme, signals []*bitvec.Vector) [][]int64 {
+	return c.Owner(s).MeasureBatch(s, signals)
+}
+
+// ShardStats is one shard's counters plus its live queue gauges.
+type ShardStats struct {
+	Stats
+	Shard         int `json:"shard"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	CachedSchemes int `json:"cached_schemes"`
+}
+
+// ClusterStats aggregates the fleet: Total sums every shard's counters
+// (histograms merge bucket-wise), Shards carries the per-shard
+// breakdown.
+type ClusterStats struct {
+	Total  Stats        `json:"total"`
+	Shards []ShardStats `json:"shards"`
+}
+
+// Stats snapshots every shard and the fleet-wide aggregate.
+func (c *Cluster) Stats() ClusterStats {
+	cs := ClusterStats{Shards: make([]ShardStats, len(c.shards))}
+	for i, e := range c.shards {
+		st := e.Stats()
+		cs.Shards[i] = ShardStats{
+			Stats:         st,
+			Shard:         i,
+			QueueDepth:    e.QueueDepth(),
+			QueueCapacity: e.QueueCapacity(),
+			Workers:       e.Workers(),
+			CachedSchemes: e.CachedSchemes(),
+		}
+		cs.Total.add(st)
+	}
+	return cs
+}

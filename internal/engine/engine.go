@@ -81,6 +81,7 @@ type Stats struct {
 	JobsCompleted uint64 `json:"jobs_completed"` // decoded successfully
 	JobsFailed    uint64 `json:"jobs_failed"`    // decoder returned an error
 	JobsCanceled  uint64 `json:"jobs_canceled"`  // context canceled before a worker picked the job up
+	JobsRejected  uint64 `json:"jobs_rejected"`  // refused by admission control (saturated queue)
 	Consistent    uint64 `json:"consistent"`     // completed jobs whose estimate reproduced y exactly
 
 	// Batched measurement.
@@ -89,13 +90,44 @@ type Stats struct {
 	// Cumulative time spent by completed jobs (nanoseconds on the wire).
 	TotalQueueWait  time.Duration `json:"total_queue_wait_ns"`
 	TotalDecodeTime time.Duration `json:"total_decode_time_ns"`
+
+	// DecodeLatency are per-decoder latency histograms over every job that
+	// reached its decoder (completed or failed), keyed by decoder name.
+	DecodeLatency map[string]LatencyHistogram `json:"decode_latency,omitempty"`
+}
+
+// add accumulates src into s (cluster aggregation). Histograms merge
+// bucket-wise; every histogram shares the same bucket edges.
+func (s *Stats) add(src Stats) {
+	s.SchemesBuilt += src.SchemesBuilt
+	s.CacheHits += src.CacheHits
+	s.BuildsDeduped += src.BuildsDeduped
+	s.Evictions += src.Evictions
+	s.BuildFailures += src.BuildFailures
+	s.JobsSubmitted += src.JobsSubmitted
+	s.JobsCompleted += src.JobsCompleted
+	s.JobsFailed += src.JobsFailed
+	s.JobsCanceled += src.JobsCanceled
+	s.JobsRejected += src.JobsRejected
+	s.Consistent += src.Consistent
+	s.SignalsMeasured += src.SignalsMeasured
+	s.TotalQueueWait += src.TotalQueueWait
+	s.TotalDecodeTime += src.TotalDecodeTime
+	for name, h := range src.DecodeLatency {
+		if s.DecodeLatency == nil {
+			s.DecodeLatency = make(map[string]LatencyHistogram)
+		}
+		dst := s.DecodeLatency[name]
+		dst.merge(h)
+		s.DecodeLatency[name] = dst
+	}
 }
 
 // counters is the mutable, atomically-updated backing of Stats.
 type counters struct {
 	schemesBuilt, cacheHits, buildsDeduped, evictions, buildFailures atomic.Uint64
 	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled           atomic.Uint64
-	consistent, signalsMeasured                                      atomic.Uint64
+	jobsRejected, consistent, signalsMeasured                        atomic.Uint64
 	queueWaitNS, decodeNS                                            atomic.Int64
 }
 
@@ -110,6 +142,7 @@ func (c *counters) snapshot() Stats {
 		JobsCompleted:   c.jobsCompleted.Load(),
 		JobsFailed:      c.jobsFailed.Load(),
 		JobsCanceled:    c.jobsCanceled.Load(),
+		JobsRejected:    c.jobsRejected.Load(),
 		Consistent:      c.consistent.Load(),
 		SignalsMeasured: c.signalsMeasured.Load(),
 		TotalQueueWait:  time.Duration(c.queueWaitNS.Load()),
@@ -124,6 +157,7 @@ type Engine struct {
 	cfg   Config
 	cache *cache
 	stats counters
+	hist  histogramSet
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -160,8 +194,34 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Stats returns a snapshot of the engine counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+// Stats returns a snapshot of the engine counters, including the
+// per-decoder latency histograms.
+func (e *Engine) Stats() Stats {
+	st := e.stats.snapshot()
+	st.DecodeLatency = e.hist.snapshot()
+	return st
+}
+
+// QueueDepth reports the number of decode jobs waiting for a worker.
+func (e *Engine) QueueDepth() int { return len(e.jobs) }
+
+// QueueCapacity reports the decode queue bound.
+func (e *Engine) QueueCapacity() int { return cap(e.jobs) }
+
+// Saturated reports whether the decode queue is full right now — the
+// admission-control signal for batch submissions (single jobs use
+// TrySubmit, which checks and enqueues atomically).
+func (e *Engine) Saturated() bool { return len(e.jobs) == cap(e.jobs) }
+
+// NoteRejected records n admission-control rejections that happened
+// outside TrySubmit (a batch or campaign turned away up front).
+func (e *Engine) NoteRejected(n int) { e.stats.jobsRejected.Add(uint64(n)) }
+
+// Workers reports the decode worker-pool size.
+func (e *Engine) Workers() int { return e.cfg.workers() }
+
+// CachedSchemes reports the number of cached (or in-flight) schemes.
+func (e *Engine) CachedSchemes() int { return e.cache.len() }
 
 // Scheme returns the cached scheme for (des, n, m, seed), building it at
 // most once no matter how many goroutines ask concurrently. The returned
@@ -179,11 +239,16 @@ func (e *Engine) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, err
 // SchemeFromGraph wraps a prebuilt design (e.g. one uploaded as a labio
 // CSV file) as an engine scheme without caching it.
 func (e *Engine) SchemeFromGraph(g *graph.Bipartite) *Scheme {
-	return &Scheme{G: g}
+	return &Scheme{G: g, home: e.cache.home}
 }
 
-// workerCount reports the configured worker-pool size.
-func (e *Engine) workerCount() int { return e.cfg.workers() }
+// InstallScheme inserts a prebuilt design into the scheme cache under
+// spec, replacing any existing entry — the warm-start path for labio
+// design files loaded at boot. The installed scheme is an ordinary cache
+// entry afterwards: hits, LRU order, and eviction all apply.
+func (e *Engine) InstallScheme(spec Spec, g *graph.Bipartite) *Scheme {
+	return e.cache.put(spec, g)
+}
 
 func validateJob(job Job) error {
 	if job.Scheme == nil || job.Scheme.G == nil {

@@ -22,6 +22,11 @@ type Job struct {
 	// Dec selects the reconstruction algorithm; nil means the paper's
 	// MN-Algorithm.
 	Dec decoder.Decoder
+	// OnDone, if set, is invoked exactly once when the job settles —
+	// completed, failed, or canceled — after its Future completes. It runs
+	// on the worker goroutine, so it must be cheap and must not block; the
+	// campaign subsystem uses it for progress accounting.
+	OnDone func(Result, error)
 }
 
 func (j Job) dec() decoder.Decoder {
@@ -93,10 +98,24 @@ type task struct {
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = fmt.Errorf("engine: closed")
 
+// ErrSaturated is returned by TrySubmit when the decode queue is full —
+// the admission-control signal a front-end turns into 429 + Retry-After.
+var ErrSaturated = fmt.Errorf("engine: decode queue saturated")
+
 // Submit validates and enqueues a decode job, returning a Future. It
 // blocks while the queue is full; ctx cancels both the enqueue wait and —
 // if still queued when it fires — the job itself.
 func (e *Engine) Submit(ctx context.Context, job Job) (*Future, error) {
+	return e.submit(ctx, job, true)
+}
+
+// TrySubmit is Submit without the enqueue wait: a full queue returns
+// ErrSaturated immediately and counts toward Stats.JobsRejected.
+func (e *Engine) TrySubmit(ctx context.Context, job Job) (*Future, error) {
+	return e.submit(ctx, job, false)
+}
+
+func (e *Engine) submit(ctx context.Context, job Job, wait bool) (*Future, error) {
 	if err := validateJob(job); err != nil {
 		return nil, err
 	}
@@ -113,6 +132,16 @@ func (e *Engine) Submit(ctx context.Context, job Job) (*Future, error) {
 	defer e.mu.RUnlock()
 	if e.closed {
 		return nil, ErrClosed
+	}
+	if !wait {
+		select {
+		case e.jobs <- t:
+			e.stats.jobsSubmitted.Add(1)
+			return fut, nil
+		default:
+			e.stats.jobsRejected.Add(1)
+			return nil, ErrSaturated
+		}
 	}
 	select {
 	case e.jobs <- t:
@@ -141,20 +170,24 @@ func (e *Engine) worker() {
 	}
 }
 
-// run executes one task and completes its future.
+// run executes one task, completes its future, and fires the job's
+// completion callback (in that order, so a callback that unblocks a
+// waiter never races the future's result).
 func (e *Engine) run(t *task) {
 	wait := time.Since(t.enqueued)
 	if err := t.ctx.Err(); err != nil {
 		e.stats.jobsCanceled.Add(1)
-		t.fut.complete(Result{Stats: JobStats{QueueWait: wait}}, err)
+		t.settle(Result{Stats: JobStats{QueueWait: wait}}, err)
 		return
 	}
+	dec := t.job.dec()
 	start := time.Now()
-	est, err := t.job.dec().Decode(t.job.Scheme.G, t.job.Y, t.job.K)
+	est, err := dec.Decode(t.job.Scheme.G, t.job.Y, t.job.K)
 	elapsed := time.Since(start)
+	e.hist.get(dec.Name()).observe(elapsed)
 	if err != nil {
 		e.stats.jobsFailed.Add(1)
-		t.fut.complete(Result{Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
+		t.settle(Result{Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
 		return
 	}
 	res := Result{
@@ -171,7 +204,15 @@ func (e *Engine) run(t *task) {
 	}
 	e.stats.queueWaitNS.Add(int64(wait))
 	e.stats.decodeNS.Add(int64(elapsed))
-	t.fut.complete(res, nil)
+	t.settle(res, nil)
+}
+
+// settle completes the task's future and then fires OnDone.
+func (t *task) settle(res Result, err error) {
+	t.fut.complete(res, err)
+	if t.job.OnDone != nil {
+		t.job.OnDone(res, err)
+	}
 }
 
 // residual computes the L1 misfit of est against y using the scheme's

@@ -23,21 +23,28 @@ import (
 	"pooleddata/internal/stats"
 )
 
-// The sweeps run through a shared reconstruction engine — the same
-// scheme-cache + decode-pipeline code path cmd/pooledd serves — so the
-// experiments exercise the production path rather than a parallel one.
-// Trials draw fresh per-trial seeds, so the cache mostly provides the
-// build-dedup/bounded-memory behavior here; the decode pipeline supplies
-// the worker pool.
+// The sweeps run through a shared reconstruction cluster — the same
+// sharded scheme-cache + decode-pipeline code path cmd/pooledd serves —
+// so the experiments exercise the production path rather than a
+// parallel one, including the spec-hash routing between shards. Trials
+// draw fresh per-trial seeds, so the caches mostly provide the
+// build-dedup/bounded-memory behavior here; the decode pipelines supply
+// the worker pools.
 var (
 	engOnce sync.Once
-	eng     *engine.Engine
+	eng     *engine.Cluster
 )
 
-// Engine returns the package-wide reconstruction engine, starting it on
-// first use. It lives for the process.
-func Engine() *engine.Engine {
-	engOnce.Do(func() { eng = engine.New(engine.Config{CacheCapacity: 8}) })
+// Engine returns the package-wide reconstruction cluster, starting it
+// on first use. It lives for the process. Two shards keep the sharded
+// routing on the test path without oversubscribing trial workers.
+func Engine() *engine.Cluster {
+	engOnce.Do(func() {
+		eng = engine.NewCluster(engine.ClusterConfig{
+			Shards: 2,
+			Shard:  engine.Config{CacheCapacity: 8},
+		})
+	})
 	return eng
 }
 
