@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench clean
+.PHONY: all build vet test test-full race bench bench-noise clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ race:
 # and engine micro-benchmarks still run.
 bench:
 	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+# The noise subsystem's acceptance benchmark: batched per-signal noise
+# path vs the exact batched path at B=32. -short skips the σ-sweep
+# sub-benchmark (the slow part).
+bench-noise:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkNoisyBatchDecode' -benchtime 1x .
 
 clean:
 	$(GO) clean ./...

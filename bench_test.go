@@ -496,3 +496,84 @@ func BenchmarkOneDesignManySignals(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkNoisyBatchDecode measures the per-signal noise-stream path of
+// the noise subsystem against the exact batched path at the engine's
+// home scale (one n = 10^4 design, B = 32 signals): same single pass
+// over the pooling matrix, plus a seeded per-(signal, query) stream and
+// the noise policy's robust decoder. The acceptance bar is the gaussian
+// path within 1.5× of the exact path. The σ-sweep sub-benchmark (the
+// slow part — it decodes the batch once per σ) is skipped in -short
+// mode.
+func BenchmarkNoisyBatchDecode(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		m     = 600
+		batch = 32
+	)
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(99)
+	for s := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[s] = sig
+	}
+	eng := NewEngine(EngineOptions{})
+	defer eng.Close()
+	scheme, err := eng.Scheme(n, m, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ys := eng.MeasureBatch(scheme, signals)
+			results, err := eng.DecodeBatch(context.Background(), scheme, ys, k, MN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != batch {
+				b.Fatalf("got %d results", len(results))
+			}
+		}
+	})
+	b.Run("gaussian", func(b *testing.B) {
+		nm := NoiseModel{Kind: "gaussian", Sigma: 0.5, Seed: 7}
+		consistent := 0
+		for i := 0; i < b.N; i++ {
+			ys, err := eng.MeasureBatchNoisy(scheme, signals, nm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results, err := eng.DecodeBatchNoisy(context.Background(), scheme, ys, k, nm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			consistent = 0
+			for _, res := range results {
+				if res.Consistent {
+					consistent++
+				}
+			}
+		}
+		b.ReportMetric(float64(consistent), "consistent_of_32")
+	})
+	b.Run("sigma-sweep", func(b *testing.B) {
+		skipSweepIfShort(b)
+		for _, sigma := range []float64{0.25, 1, 4} {
+			nm := NoiseModel{Kind: "gaussian", Sigma: sigma, Seed: 7}
+			for i := 0; i < b.N; i++ {
+				ys, err := eng.MeasureBatchNoisy(scheme, signals, nm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.DecodeBatchNoisy(context.Background(), scheme, ys, k, nm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	pooledd -addr :8080 -shards 4 -cache 16 -workers 2 -queue 64 \
-//	        -designs lab-a.csv,lab-b.csv
+//	        -designs lab-a.csv,lab-b.csv -snapshot specs.json
 //
 // API (JSON unless noted; design/count payloads reuse the labio CSV
 // formats of WriteDesignCSV/WriteCountsCSV):
@@ -21,21 +21,35 @@
 //	POST   /v1/decode              {"scheme":"s1","k":16,"decoder":"mn","counts":[...]}
 //	                               or {"batch":[[...],[...]]} for pipelined decoding
 //	                               or a labio counts CSV with ?scheme=s1&k=16&decoder=mn
+//	                               an optional "noise" object ({"kind":"gaussian",
+//	                               "sigma":0.5} or {"kind":"threshold","t":2}; CSV:
+//	                               &noise=gaussian:0.5) declares the measurement model
+//	                               and makes the server select the robust decoder
 //	                               429 + Retry-After when the owning shard is saturated
 //	POST   /v1/campaigns           {"scheme":"s1","k":16,"batch":[[...],...]} → 202 + id
+//	                               + optional campaign-level "noise" object applied to
+//	                               every job
 //	GET    /v1/campaigns           all retained campaigns
 //	GET    /v1/campaigns/{id}      progress + completed results; ?wait=5s long-polls
 //	DELETE /v1/campaigns/{id}      cancel (queued jobs settle as canceled)
 //	GET    /v1/stats               fleet aggregate + per-shard breakdown (queue depth,
-//	                               cache hits, rejected jobs, decode-latency histograms)
+//	                               cache hits, rejected jobs, decode-latency histograms,
+//	                               jobs_by_noise per-model counters, campaign gauges)
+//
+// -snapshot persists the registered parametric scheme specs as JSON on
+// graceful shutdown (SIGINT/SIGTERM) and rebuilds them into the shard
+// caches on the next boot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pooleddata/internal/engine"
@@ -50,6 +64,7 @@ func main() {
 	maxSchemes := flag.Int("max-schemes", 64, "max registered scheme ids (oldest dropped beyond)")
 	maxBody := flag.Int64("max-body", 256<<20, "max request body bytes")
 	designs := flag.String("designs", "", "comma-separated labio design CSVs to preload at boot")
+	snapshot := flag.String("snapshot", "", "spec snapshot file: cached scheme specs written on shutdown, rebuilt on boot")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -78,15 +93,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *snapshot != "" {
+		if err := loadSnapshot(cluster, srv, *snapshot, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// SIGINT/SIGTERM drain in-flight requests, then the snapshot (if
+	// configured) persists the cached spec keys for the next boot.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: shutdown: %v\n", err)
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "pooledd: listening on %s (%d shards x %d workers)\n", *addr, *shards, cluster.Shard(0).Workers())
-	if err := httpSrv.ListenAndServe(); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)
+	}
+	<-done
+	if *snapshot != "" {
+		if err := writeSnapshot(srv, *snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pooledd: snapshot written to %s\n", *snapshot)
 	}
 }

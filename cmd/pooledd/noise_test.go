@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/campaign"
+	"pooleddata/internal/labio"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/rng"
+)
+
+// TestGaussianCampaignEndToEnd is the noise subsystem's acceptance
+// path: a campaign submitted with {"noise":{"kind":"gaussian",...}}
+// through pooledd selects the robust decoder server-side, reports the
+// model in the campaign results and the per-model /v1/stats counters,
+// and a seeded noise stream makes the run reproducible — measuring and
+// decoding again with the same seed yields identical supports.
+func TestGaussianCampaignEndToEnd(t *testing.T) {
+	ts, eng := newTestServer(t)
+	n, k, m := 400, 6, 320
+	const batch = 4
+
+	var sch schemeEntry
+	postJSON(t, ts.URL+"/v1/schemes", schemeRequest{N: n, M: m, Seed: 11}, &sch)
+
+	es, err := eng.Scheme(nil, n, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make([]*bitvec.Vector, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(uint64(70+b)))
+	}
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: 1234}
+
+	runCampaign := func() campaign.Progress {
+		t.Helper()
+		ys := eng.MeasureBatch(es, signals, nm)
+		var created campaignCreated
+		resp := postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{
+			Scheme: sch.ID, K: k, Batch: ys, Noise: &nm,
+		}, &created)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("create campaign: status %d", resp.StatusCode)
+		}
+		if created.Noise == nil || created.Noise.Canon() != nm.Canon() {
+			t.Fatalf("202 body lost the noise model: %+v", created.Noise)
+		}
+		wresp, err := http.Get(ts.URL + "/v1/campaigns/" + created.ID + "?wait=10s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wresp.Body.Close()
+		var p campaign.Progress
+		if err := json.NewDecoder(wresp.Body).Decode(&p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	first := runCampaign()
+	if first.State != campaign.Done || first.Completed != batch {
+		t.Fatalf("campaign did not complete: %+v", first)
+	}
+	if first.Noise == nil || first.Noise.Canon() != nm.Canon() {
+		t.Fatalf("campaign progress lost the noise model: %+v", first.Noise)
+	}
+	wantDec := noise.SelectDecoder(nm, noise.SchemeParams{N: n, M: m, K: k}).Name()
+	for i, res := range first.Results {
+		if res.Decoder != wantDec {
+			t.Fatalf("job %d ran %q, want the policy's %q", i, res.Decoder, wantDec)
+		}
+		if !bitvec.FromIndices(n, res.Support).Equal(signals[i]) {
+			t.Fatalf("job %d did not recover its signal under σ=0.5", i)
+		}
+		if !res.Consistent {
+			t.Fatalf("job %d not consistent within the residual slack: %+v", i, res)
+		}
+	}
+
+	// Same seed, same signals → bit-identical noisy counts → identical
+	// decoded supports.
+	second := runCampaign()
+	for i := range first.Results {
+		a, b := first.Results[i].Support, second.Results[i].Support
+		if len(a) != len(b) {
+			t.Fatalf("job %d support size changed across reruns", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("job %d support diverged across reruns with one seed", i)
+			}
+		}
+	}
+
+	// /v1/stats breaks the jobs out under the canonical model key.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.JobsByNoise[nm.Key()]; got != 2*batch {
+		t.Fatalf("stats jobs_by_noise[%q] = %d, want %d (have %v)", nm.Key(), got, 2*batch, st.JobsByNoise)
+	}
+	if h, ok := st.NoiseLatency[nm.Key()]; !ok || h.Count != 2*batch {
+		t.Fatalf("stats noise_latency[%q] missing or short: %+v", nm.Key(), h)
+	}
+	if st.Campaigns.Finished != 2 || st.Campaigns.Retained != 2 {
+		t.Fatalf("campaign gauges = %+v, want 2 finished", st.Campaigns)
+	}
+}
+
+// TestDecodeWithNoiseJSONAndCSV exercises the noise object on
+// /v1/decode and the compact colon form on the CSV path.
+func TestDecodeWithNoiseJSONAndCSV(t *testing.T) {
+	ts, eng := newTestServer(t)
+	n, k, m := 300, 5, 260
+
+	var sch schemeEntry
+	postJSON(t, ts.URL+"/v1/schemes", schemeRequest{N: n, M: m, Seed: 5}, &sch)
+	es, err := eng.Scheme(nil, n, m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(8))
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: 77}
+	ys := eng.MeasureBatch(es, []*bitvec.Vector{sigma}, nm)
+
+	var dec decodeResponse
+	resp := postJSON(t, ts.URL+"/v1/decode", decodeRequest{Scheme: sch.ID, K: k, Counts: ys[0], Noise: &nm}, &dec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("noisy decode: status %d", resp.StatusCode)
+	}
+	if want := "mn-refined"; dec.Decoder != want {
+		t.Fatalf("server selected %q, want %q", dec.Decoder, want)
+	}
+	if !bitvec.FromIndices(n, dec.Support).Equal(sigma) {
+		t.Fatal("noisy decode missed the signal")
+	}
+
+	// Batch form carries the model too.
+	var out struct {
+		Results []decodeResponse `json:"results"`
+	}
+	resp = postJSON(t, ts.URL+"/v1/decode", decodeRequest{Scheme: sch.ID, K: k, Batch: ys, Noise: &nm}, &out)
+	if resp.StatusCode != http.StatusOK || len(out.Results) != 1 || out.Results[0].Decoder != "mn-refined" {
+		t.Fatalf("noisy batch decode: status %d, results %+v", resp.StatusCode, out.Results)
+	}
+
+	// The labio counts CSV path takes the compact colon form.
+	var csv bytes.Buffer
+	if err := labio.WriteCounts(&csv, ys[0]); err != nil {
+		t.Fatal(err)
+	}
+	curl := fmt.Sprintf("%s/v1/decode?scheme=%s&k=%d&noise=gaussian:0.5:77", ts.URL, sch.ID, k)
+	cresp, err := http.Post(curl, "text/csv", &csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("csv noisy decode: status %d", cresp.StatusCode)
+	}
+	var cdec decodeResponse
+	if err := json.NewDecoder(cresp.Body).Decode(&cdec); err != nil {
+		t.Fatal(err)
+	}
+	if cdec.Decoder != "mn-refined" || !bitvec.FromIndices(n, cdec.Support).Equal(sigma) {
+		t.Fatalf("csv noisy decode: decoder %q, recovered %v", cdec.Decoder, cdec.Support)
+	}
+
+	// An invalid model is a 400 with a JSON body.
+	resp = postJSON(t, ts.URL+"/v1/decode",
+		decodeRequest{Scheme: sch.ID, K: k, Counts: ys[0], Noise: &noise.Model{Kind: "poisson"}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad noise kind: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("400 content-type %q", ct)
+	}
+}
+
+// TestStatsGaugesAndJSONErrorPaths pins the satellite fixes: campaign
+// gauges are present (zeroed) before any campaign has run, and error
+// responses — including unknown routes — carry application/json.
+func TestStatsGaugesAndJSONErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(sresp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	cg, ok := raw["campaigns"]
+	if !ok {
+		t.Fatal("stats missing campaigns gauges with zero campaigns run")
+	}
+	var gauges campaignGauges
+	if err := json.Unmarshal(cg, &gauges); err != nil {
+		t.Fatal(err)
+	}
+	if gauges.Active != 0 || gauges.Finished != 0 || gauges.Retained != 0 {
+		t.Fatalf("fresh gauges = %+v, want zeros", gauges)
+	}
+
+	assertJSONError := func(resp *http.Response, wantStatus int, label string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: status %d, want %d", label, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: content-type %q, want application/json", label, ct)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+			t.Fatalf("%s: body not a JSON error object (%v)", label, err)
+		}
+	}
+	post := func(url string, body any) *http.Response {
+		t.Helper()
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(buf)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	assertJSONError(post(ts.URL+"/v1/decode", decodeRequest{Scheme: "nope", K: 1, Counts: []int64{0}}),
+		http.StatusNotFound, "unknown scheme")
+	assertJSONError(post(ts.URL+"/v1/schemes", schemeRequest{Design: "nope", N: 10, M: 5}),
+		http.StatusBadRequest, "unknown design")
+	r2, err := http.Get(ts.URL + "/v1/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertJSONError(r2, http.StatusNotFound, "unknown route")
+}

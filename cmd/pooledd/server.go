@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"pooleddata/internal/campaign"
+	"pooleddata/internal/decoder"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
+	"pooleddata/internal/noise"
 )
 
 // server is the HTTP front-end over the sharded reconstruction cluster.
@@ -50,6 +52,12 @@ type schemeEntry struct {
 	Shard  int    `json:"shard"`
 	AdHoc  bool   `json:"ad_hoc,omitempty"`
 
+	// Design parameters of parametric schemes, kept so the -snapshot file
+	// can rebuild the scheme on the next boot.
+	Gamma int     `json:"gamma,omitempty"`
+	P     float64 `json:"p,omitempty"`
+	D     int     `json:"d,omitempty"`
+
 	scheme *engine.Scheme
 }
 
@@ -77,6 +85,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Catch-all so unknown routes return a JSON body like every other
+	// error path, not the mux's text/plain 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "unknown route %s %s", r.Method, r.URL.Path)
+	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -148,7 +161,7 @@ func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		es := s.cluster.SchemeFromGraph(g)
-		ent := s.register(es, "uploaded", g.N(), g.M(), 0, true)
+		ent := s.register(es, "uploaded", g.N(), g.M(), 0, engine.DesignParams{}, true)
 		writeJSON(w, http.StatusCreated, ent)
 		return
 	}
@@ -161,7 +174,8 @@ func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid size n=%d m=%d", req.N, req.M)
 		return
 	}
-	des, err := engine.DesignByName(req.Design, engine.DesignParams{Gamma: req.Gamma, P: req.P, D: req.D})
+	params := engine.DesignParams{Gamma: req.Gamma, P: req.P, D: req.D}
+	des, err := engine.DesignByName(req.Design, params)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -171,13 +185,13 @@ func (s *server) handleCreateScheme(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "build scheme: %v", err)
 		return
 	}
-	ent := s.register(es, des.Name(), req.N, req.M, req.Seed, false)
+	ent := s.register(es, des.Name(), req.N, req.M, req.Seed, params, false)
 	writeJSON(w, http.StatusCreated, ent)
 }
 
 // register assigns (or reuses) the entry for a scheme. Cached schemes are
 // deduplicated by spec so repeated POSTs return the same id.
-func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint64, adhoc bool) *schemeEntry {
+func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint64, params engine.DesignParams, adhoc bool) *schemeEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !adhoc {
@@ -189,6 +203,7 @@ func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint6
 	ent := &schemeEntry{
 		ID:     fmt.Sprintf("s%d", s.nextID),
 		Design: design, N: n, M: m, Seed: seed, Shard: es.Home(), AdHoc: adhoc,
+		Gamma: params.Gamma, P: params.P, D: params.D,
 		scheme: es,
 	}
 	s.schemes[ent.ID] = ent
@@ -234,34 +249,66 @@ func (s *server) handleGetDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/csv")
-	if err := labio.WriteDesign(w, ent.scheme.G); err != nil {
-		// Headers are gone; nothing to do but log-by-status.
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	// Stream: designs can be large (uploads up to -max-body), so no
+	// buffering. A mid-stream write error means the client went away —
+	// the headers are sent, so there is no useful error body to produce.
+	_ = labio.WriteDesign(w, ent.scheme.G)
 }
 
 // decodeRequest is the JSON body of POST /v1/decode. Exactly one of
-// Counts (single job) or Batch (pipelined jobs) must be set.
+// Counts (single job) or Batch (pipelined jobs) must be set. Noise
+// declares the measurement model of the counts; when set and no decoder
+// is named, the server selects the robust decoder for it.
 type decodeRequest struct {
-	Scheme  string    `json:"scheme"`
-	K       int       `json:"k"`
-	Decoder string    `json:"decoder,omitempty"`
-	Counts  []int64   `json:"counts,omitempty"`
-	Batch   [][]int64 `json:"batch,omitempty"`
+	Scheme  string       `json:"scheme"`
+	K       int          `json:"k"`
+	Decoder string       `json:"decoder,omitempty"`
+	Noise   *noise.Model `json:"noise,omitempty"`
+	Counts  []int64      `json:"counts,omitempty"`
+	Batch   [][]int64    `json:"batch,omitempty"`
 }
 
-// decodeResponse mirrors engine.Result on the wire.
+// parseJobSpec resolves a request's noise model and decoder choice —
+// shared by the sync decode and campaign handlers so the two endpoints
+// cannot drift. The model is validated as sent (validation must see the
+// raw kind before canonicalization defaults it) and returned canonical.
+// An empty decoder name yields nil so the noise policy selects the
+// robust decoder server-side (MN for exact requests, as before).
+func parseJobSpec(noisePtr *noise.Model, decName string) (noise.Model, decoder.Decoder, error) {
+	var nm noise.Model
+	if noisePtr != nil {
+		nm = *noisePtr
+	}
+	if err := nm.Validate(); err != nil {
+		return noise.Model{}, nil, err
+	}
+	nm = nm.Canon()
+	var dec decoder.Decoder
+	if decName != "" {
+		var err error
+		dec, err = engine.DecoderByName(decName)
+		if err != nil {
+			return noise.Model{}, nil, err
+		}
+	}
+	return nm, dec, nil
+}
+
+// decodeResponse mirrors engine.Result on the wire. Decoder reports the
+// algorithm that ran — the policy's pick when the request named none.
 type decodeResponse struct {
-	Support    []int `json:"support"`
-	Residual   int64 `json:"residual"`
-	Consistent bool  `json:"consistent"`
-	QueueNS    int64 `json:"queue_ns"`
-	DecodeNS   int64 `json:"decode_ns"`
+	Support    []int  `json:"support"`
+	Decoder    string `json:"decoder,omitempty"`
+	Residual   int64  `json:"residual"`
+	Consistent bool   `json:"consistent"`
+	QueueNS    int64  `json:"queue_ns"`
+	DecodeNS   int64  `json:"decode_ns"`
 }
 
 func toResponse(res engine.Result) decodeResponse {
 	return decodeResponse{
 		Support:    res.Support,
+		Decoder:    res.Decoder,
 		Residual:   res.Stats.Residual,
 		Consistent: res.Stats.Consistent,
 		QueueNS:    int64(res.Stats.QueueWait),
@@ -271,9 +318,10 @@ func toResponse(res engine.Result) decodeResponse {
 
 // handleDecode runs reconstructions through the owning shard's pipeline.
 // JSON bodies carry counts inline; text/csv bodies are labio results
-// files (the WriteCountsCSV output) with scheme/k/decoder in query
-// parameters. A saturated shard queue rejects with 429 + Retry-After
-// instead of blocking the request.
+// files (the WriteCountsCSV output) with scheme/k/decoder/noise in query
+// parameters (noise in the compact colon form, e.g. noise=gaussian:0.5:7).
+// A saturated shard queue rejects with 429 + Retry-After instead of
+// blocking the request.
 func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	var req decodeRequest
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
@@ -284,6 +332,14 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Scheme = r.URL.Query().Get("scheme")
 		req.Decoder = r.URL.Query().Get("decoder")
+		if ns := r.URL.Query().Get("noise"); ns != "" {
+			nm, err := noise.Parse(ns)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad noise parameter: %v", err)
+				return
+			}
+			req.Noise = &nm
+		}
 		k, err := strconv.Atoi(r.URL.Query().Get("k"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad k parameter: %v", err)
@@ -301,7 +357,7 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
 		return
 	}
-	dec, err := engine.DecoderByName(req.Decoder)
+	nm, dec, err := parseJobSpec(req.Noise, req.Decoder)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -312,7 +368,7 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	case req.Counts != nil && req.Batch != nil:
 		httpError(w, http.StatusBadRequest, "set either counts or batch, not both")
 	case req.Counts != nil:
-		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Dec: dec})
+		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Noise: nm, Dec: dec})
 		if errors.Is(err, engine.ErrSaturated) {
 			rejectSaturated(w, shard)
 			return
@@ -335,7 +391,7 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			rejectSaturated(w, shard)
 			return
 		}
-		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Dec: dec})
+		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Noise: nm, Dec: dec})
 		if err != nil {
 			httpError(w, decodeStatus(err), "decode batch: %v", err)
 			return
@@ -362,19 +418,22 @@ func decodeStatus(err error) int {
 	}
 }
 
-// campaignRequest is the JSON body of POST /v1/campaigns.
+// campaignRequest is the JSON body of POST /v1/campaigns. Noise is the
+// campaign-level measurement model, applied to every job of the batch.
 type campaignRequest struct {
-	Scheme  string    `json:"scheme"`
-	K       int       `json:"k"`
-	Decoder string    `json:"decoder,omitempty"`
-	Batch   [][]int64 `json:"batch"`
+	Scheme  string       `json:"scheme"`
+	K       int          `json:"k"`
+	Decoder string       `json:"decoder,omitempty"`
+	Noise   *noise.Model `json:"noise,omitempty"`
+	Batch   [][]int64    `json:"batch"`
 }
 
 // campaignCreated is the 202 body: enough to poll.
 type campaignCreated struct {
-	ID    string `json:"id"`
-	Total int    `json:"total"`
-	State string `json:"state"`
+	ID    string       `json:"id"`
+	Total int          `json:"total"`
+	State string       `json:"state"`
+	Noise *noise.Model `json:"noise,omitempty"`
 }
 
 // handleCreateCampaign admits an async batch decode and returns its id
@@ -390,7 +449,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
 		return
 	}
-	dec, err := engine.DecoderByName(req.Decoder)
+	nm, dec, err := parseJobSpec(req.Noise, req.Decoder)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -399,7 +458,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	cp, err := s.campaigns.Create(campaign.Request{Scheme: ent.scheme, Batch: req.Batch, K: req.K, Dec: dec})
+	cp, err := s.campaigns.Create(campaign.Request{Scheme: ent.scheme, Batch: req.Batch, K: req.K, Noise: nm, Dec: dec})
 	switch {
 	case errors.Is(err, engine.ErrSaturated):
 		rejectSaturated(w, s.cluster.Owner(ent.scheme))
@@ -409,7 +468,11 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
-		writeJSON(w, http.StatusAccepted, campaignCreated{ID: cp.ID(), Total: cp.Total(), State: string(campaign.Running)})
+		created := campaignCreated{ID: cp.ID(), Total: cp.Total(), State: string(campaign.Running)}
+		if !nm.IsExact() {
+			created.Noise = &nm
+		}
+		writeJSON(w, http.StatusAccepted, created)
 	}
 }
 
@@ -453,14 +516,25 @@ func (s *server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cp.Progress())
 }
 
+// campaignGauges are the campaign-store gauges of /v1/stats. The block
+// is always present — a fresh server reports zeros, not absent keys —
+// so dashboards can rely on the fields existing before the first
+// campaign runs.
+type campaignGauges struct {
+	Active   int `json:"active"`
+	Finished int `json:"finished"`
+	Retained int `json:"retained"`
+}
+
 // statsResponse is the body of GET /v1/stats: the fleet-wide aggregate
-// counters (their snake_case json tags, histograms merged bucket-wise)
-// flattened at the top level for compatibility, the per-shard
-// breakdown, and server-level fields.
+// counters (their snake_case json tags, histograms merged bucket-wise,
+// jobs_by_noise per-model counters) flattened at the top level for
+// compatibility, the per-shard breakdown, and server-level fields.
 type statsResponse struct {
 	engine.Stats
 	Shards            []engine.ShardStats `json:"shards"`
 	Schemes           int                 `json:"schemes"`
+	Campaigns         campaignGauges      `json:"campaigns"`
 	CampaignsActive   int                 `json:"campaigns_active"`
 	CampaignsFinished int                 `json:"campaigns_finished"`
 	UptimeNS          int64               `json:"uptime_ns"`
@@ -475,9 +549,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	active, finished := s.campaigns.Counts()
 	resp := statsResponse{
-		Stats:           cs.Total,
-		Shards:          cs.Shards,
-		Schemes:         n,
+		Stats:   cs.Total,
+		Shards:  cs.Shards,
+		Schemes: n,
+		Campaigns: campaignGauges{
+			Active: active, Finished: finished, Retained: active + finished,
+		},
 		CampaignsActive: active, CampaignsFinished: finished,
 		UptimeNS: int64(time.Since(s.start)),
 	}

@@ -11,6 +11,7 @@ import (
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
+	"pooleddata/internal/noise"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
 )
@@ -128,7 +129,7 @@ func TestBatchDecodeAndStats(t *testing.T) {
 	for b := range signals {
 		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(uint64(40+b)))
 	}
-	ys := eng.MeasureBatch(es, signals)
+	ys := eng.MeasureBatch(es, signals, noise.Model{})
 
 	var out struct {
 		Results []decodeResponse `json:"results"`

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+
+	"pooleddata/internal/engine"
+)
+
+// The -snapshot file persists the scheme-cache spec keys across
+// restarts: on shutdown the server writes every registered *parametric*
+// scheme (design name + n, m, seed + design knobs) as JSON; on boot it
+// rebuilds those schemes through the cluster's caches, so the first
+// request after a restart is a cache hit, not a build. Ad-hoc uploads
+// and -designs file preloads are skipped — their graphs are not
+// reproducible from a spec alone (files have their own warm-start path).
+
+// snapshotEntry is one rebuildable scheme spec in the snapshot file.
+type snapshotEntry struct {
+	Design string  `json:"design"`
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	Seed   uint64  `json:"seed"`
+	Gamma  int     `json:"gamma,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	D      int     `json:"d,omitempty"`
+}
+
+// snapshotEntries lists the server's rebuildable schemes in
+// registration order.
+func (s *server) snapshotEntries() []snapshotEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]snapshotEntry, 0, len(s.order))
+	for _, id := range s.order {
+		ent, ok := s.schemes[id]
+		if !ok || ent.AdHoc || strings.HasPrefix(ent.Design, "file:") {
+			continue
+		}
+		out = append(out, snapshotEntry{
+			Design: ent.Design, N: ent.N, M: ent.M, Seed: ent.Seed,
+			Gamma: ent.Gamma, P: ent.P, D: ent.D,
+		})
+	}
+	return out
+}
+
+// writeSnapshot persists the spec list to path atomically (temp file +
+// rename), so a crash mid-write never clobbers the previous snapshot.
+func writeSnapshot(srv *server, path string) error {
+	entries := srv.snapshotEntries()
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot rebuilds the snapshot's schemes through the cluster (each
+// lands in its owning shard's cache) and registers them with the server.
+// A missing file is not an error — the first boot has no snapshot yet.
+// Individual entries fail soft: a design renamed between versions logs a
+// warning instead of refusing to boot.
+func loadSnapshot(cluster *engine.Cluster, srv *server, path string, logw io.Writer) error {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var entries []snapshotEntry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	for _, se := range entries {
+		params := engine.DesignParams{Gamma: se.Gamma, P: se.P, D: se.D}
+		des, err := engine.DesignByName(se.Design, params)
+		if err != nil {
+			fmt.Fprintf(logw, "pooledd: snapshot skip %s n=%d m=%d: %v\n", se.Design, se.N, se.M, err)
+			continue
+		}
+		es, err := cluster.Scheme(des, se.N, se.M, se.Seed)
+		if err != nil {
+			fmt.Fprintf(logw, "pooledd: snapshot rebuild %s n=%d m=%d failed: %v\n", se.Design, se.N, se.M, err)
+			continue
+		}
+		ent := srv.register(es, des.Name(), se.N, se.M, se.Seed, params, false)
+		fmt.Fprintf(logw, "pooledd: snapshot restored scheme %s (%s n=%d m=%d seed=%d shard=%d)\n",
+			ent.ID, se.Design, se.N, se.M, se.Seed, es.Home())
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pooleddata/internal/engine"
+	"pooleddata/internal/labio"
+)
+
+func snapCluster(t *testing.T) *engine.Cluster {
+	t.Helper()
+	c := engine.NewCluster(engine.ClusterConfig{
+		Shards: 2,
+		Shard:  engine.Config{CacheCapacity: 8, Workers: 1},
+	})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "specs.json")
+
+	// First life: register two parametric schemes, one ad-hoc upload (to
+	// be skipped), and write the snapshot.
+	c1 := snapCluster(t)
+	srv1 := newServer(c1)
+	ts1 := httptest.NewServer(srv1.handler())
+	defer ts1.Close()
+
+	var a, b schemeEntry
+	postJSON(t, ts1.URL+"/v1/schemes", schemeRequest{Design: "random-regular", N: 200, M: 120, Seed: 4, Gamma: 50}, &a)
+	postJSON(t, ts1.URL+"/v1/schemes", schemeRequest{Design: "bernoulli", N: 150, M: 80, Seed: 9}, &b)
+
+	esUp, err := c1.Scheme(nil, 100, 60, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := labio.WriteDesign(&csv, esUp.G); err != nil {
+		t.Fatal(err)
+	}
+	adhoc := srv1.register(c1.SchemeFromGraph(esUp.G), "uploaded", 100, 60, 0, engine.DesignParams{}, true)
+	_ = adhoc
+
+	if err := writeSnapshot(srv1, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a fresh cluster rebuilds the snapshot's schemes into
+	// its caches and the registry.
+	c2 := snapCluster(t)
+	srv2 := newServer(c2)
+	var log bytes.Buffer
+	if err := loadSnapshot(c2, srv2, path, &log); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2.mu.Lock()
+	n := len(srv2.schemes)
+	srv2.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("restored %d schemes, want 2 (ad-hoc uploads skipped); log:\n%s", n, log.String())
+	}
+	cached := 0
+	for i := 0; i < c2.Shards(); i++ {
+		cached += c2.Shard(i).CachedSchemes()
+	}
+	if cached != 2 {
+		t.Fatalf("shard caches hold %d schemes, want 2", cached)
+	}
+
+	// The rebuilt scheme is the same design: a repeat request is a cache
+	// hit with an identical graph, and the registry deduplicates the id.
+	des, err := engine.DesignByName("random-regular", engine.DesignParams{Gamma: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es1, err := c1.Scheme(des, 200, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es2, err := c2.Scheme(des, 200, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d1, d2 bytes.Buffer
+	if err := labio.WriteDesign(&d1, es1.G); err != nil {
+		t.Fatal(err)
+	}
+	if err := labio.WriteDesign(&d2, es2.G); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1.Bytes(), d2.Bytes()) {
+		t.Fatal("restored scheme's design differs from the original")
+	}
+	hits := uint64(0)
+	for i := 0; i < c2.Shards(); i++ {
+		hits += c2.Shard(i).Stats().CacheHits
+	}
+	if hits == 0 {
+		t.Fatal("repeat scheme request after restore was not a cache hit")
+	}
+}
+
+func TestLoadSnapshotMissingAndCorrupt(t *testing.T) {
+	c := snapCluster(t)
+	srv := newServer(c)
+	var log bytes.Buffer
+
+	// Missing file: first boot, not an error.
+	if err := loadSnapshot(c, srv, filepath.Join(t.TempDir(), "none.json"), &log); err != nil {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+
+	// Corrupt file: refuse to boot silently wrong.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadSnapshot(c, srv, bad, &log); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+
+	// Unknown design entries fail soft with a logged skip.
+	skip := filepath.Join(t.TempDir(), "skip.json")
+	if err := os.WriteFile(skip, []byte(`[{"design":"gone","n":10,"m":5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if err := loadSnapshot(c, srv, skip, &log); err != nil {
+		t.Fatalf("soft-fail entry: %v", err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("skipped entry not logged")
+	}
+}

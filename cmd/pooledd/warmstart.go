@@ -30,7 +30,7 @@ func preloadDesigns(cluster *engine.Cluster, srv *server, paths []string, logw i
 		}
 		spec := engine.Spec{Design: "file:" + filepath.Clean(p), N: g.N(), M: g.M()}
 		es := cluster.InstallScheme(spec, g)
-		ent := srv.register(es, spec.Design, g.N(), g.M(), 0, false)
+		ent := srv.register(es, spec.Design, g.N(), g.M(), 0, engine.DesignParams{}, false)
 		fmt.Fprintf(logw, "pooledd: preloaded scheme %s from %s (n=%d m=%d shard=%d)\n",
 			ent.ID, p, g.N(), g.M(), es.Home())
 	}

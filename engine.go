@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
 )
 
 // This file is the public face of the reconstruction cluster
@@ -65,6 +66,10 @@ type EngineStats struct {
 	// shards), keyed by decoder name.
 	DecodeLatency map[string]LatencyHistogram
 
+	// JobsByNoise counts jobs that reached their decoder, keyed by the
+	// canonical noise-model key ("exact", "gaussian(sigma=0.5)", ...).
+	JobsByNoise map[string]uint64
+
 	// Shards is the per-shard breakdown, one entry per engine shard.
 	Shards []ShardStats
 }
@@ -100,6 +105,9 @@ type ShardStats struct {
 type DecodeResult struct {
 	// Support is the recovered one-entry index set, ascending.
 	Support []int
+	// Decoder names the decoder that ran the job — for noisy requests
+	// without an explicit decoder, the one the noise policy selected.
+	Decoder string
 	// QueueWait is how long the job sat in the queue before a worker
 	// picked it up.
 	QueueWait time.Duration
@@ -157,6 +165,12 @@ func (e *Engine) Stats() EngineStats {
 		TotalQueueWait:  st.TotalQueueWait,
 		TotalDecodeTime: st.TotalDecodeTime,
 		Shards:          make([]ShardStats, len(cs.Shards)),
+	}
+	if len(st.JobsByNoise) > 0 {
+		out.JobsByNoise = make(map[string]uint64, len(st.JobsByNoise))
+		for key, n := range st.JobsByNoise {
+			out.JobsByNoise[key] = n
+		}
 	}
 	if len(st.DecodeLatency) > 0 {
 		out.DecodeLatency = make(map[string]LatencyHistogram, len(st.DecodeLatency))
@@ -275,12 +289,50 @@ func (e *Engine) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int
 // MeasureBatch is Scheme.MeasureBatch routed through the engine so the
 // batch shows up in its counters.
 func (e *Engine) MeasureBatch(s *Scheme, signals [][]bool) [][]int64 {
-	return e.inner.MeasureBatch(s.engineScheme(), s.batchVectors(signals))
+	return e.inner.MeasureBatch(s.engineScheme(), s.batchVectors(signals), noise.Model{})
+}
+
+// MeasureBatchNoisy is MeasureBatch under a noise model: each signal's
+// counts are perturbed with an independent, reproducible per-signal
+// stream rooted at the model's seed, in the same single pass over the
+// pooling matrix.
+func (e *Engine) MeasureBatchNoisy(s *Scheme, signals [][]bool, nm NoiseModel) ([][]int64, error) {
+	m := nm.internal()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return e.inner.MeasureBatch(s.engineScheme(), s.batchVectors(signals), m), nil
+}
+
+// DecodeNoisy runs one reconstruction of counts measured under the given
+// noise model. The decoder is selected server-side by the noise policy
+// (exact → MN, gaussian → swap-refined MN or the LP relaxation by σ,
+// threshold → the threshold-GT decoder); DecodeResult.Decoder reports
+// the pick, and Consistent is judged with the model's residual slack.
+func (e *Engine) DecodeNoisy(ctx context.Context, s *Scheme, y []int64, k int, nm NoiseModel) (DecodeResult, error) {
+	res, err := e.inner.Decode(ctx, engine.Job{Scheme: s.engineScheme(), Y: y, K: k, Noise: nm.internal()})
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	return fromEngineResult(res), nil
+}
+
+// DecodeBatchNoisy pipelines one noisy decode per count vector through
+// the worker pool — the batched counterpart of DecodeNoisy. Results are
+// in input order; the first error is returned after all jobs settle.
+func (e *Engine) DecodeBatchNoisy(ctx context.Context, s *Scheme, ys [][]int64, k int, nm NoiseModel) ([]DecodeResult, error) {
+	results, err := e.inner.DecodeBatch(ctx, s.engineScheme(), ys, k, engine.Job{Noise: nm.internal()})
+	out := make([]DecodeResult, len(results))
+	for i, r := range results {
+		out[i] = fromEngineResult(r)
+	}
+	return out, err
 }
 
 func fromEngineResult(r engine.Result) DecodeResult {
 	return DecodeResult{
 		Support:    r.Support,
+		Decoder:    r.Decoder,
 		QueueWait:  r.Stats.QueueWait,
 		DecodeTime: r.Stats.DecodeTime,
 		Residual:   r.Stats.Residual,

@@ -155,3 +155,91 @@ func TestShardedEngineFacade(t *testing.T) {
 		t.Fatalf("histogram shape: %d counts for %d edges", len(h.Counts), len(h.BucketUpper))
 	}
 }
+
+func TestNoisyFacade(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 2})
+	defer eng.Close()
+
+	n, k, m := 400, 6, 320
+	scheme, err := eng.Scheme(n, m, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 3
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(17)
+	for b := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[b] = sig
+	}
+	nm := NoiseModel{Kind: "gaussian", Sigma: 0.5, Seed: 12}
+
+	// Engine path and direct Scheme path perturb identically for equal
+	// models (shared per-signal streams).
+	ys, err := eng.MeasureBatchNoisy(scheme, signals, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := scheme.MeasureBatchNoisy(signals, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := false
+	for b := range ys {
+		exact := scheme.Measure(signals[b])
+		for j := range ys[b] {
+			if ys[b][j] != direct[b][j] {
+				t.Fatalf("engine and scheme noisy paths diverged at (%d,%d)", b, j)
+			}
+			if ys[b][j] != exact[j] {
+				noisy = true
+			}
+		}
+	}
+	if !noisy {
+		t.Fatal("gaussian model changed nothing")
+	}
+
+	// DecodeNoisy selects the robust decoder server-side and recovers.
+	res, err := eng.DecodeNoisy(context.Background(), scheme, ys[0], k, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decoder != "mn-refined" {
+		t.Fatalf("policy selected %q", res.Decoder)
+	}
+	want, err := scheme.Reconstruct(scheme.Measure(signals[0]), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(res.Support, want) {
+		t.Fatalf("noisy decode support %v, want %v", res.Support, want)
+	}
+	if !res.Consistent {
+		t.Fatalf("recovery not consistent within slack: %+v", res)
+	}
+
+	// Batch form, and per-model counters on the public stats.
+	results, err := eng.DecodeBatchNoisy(context.Background(), scheme, ys, k, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != batch {
+		t.Fatalf("got %d results", len(results))
+	}
+	st := eng.Stats()
+	if got := st.JobsByNoise["gaussian(sigma=0.5)"]; got != 1+batch {
+		t.Fatalf("JobsByNoise = %v, want %d gaussian jobs", st.JobsByNoise, 1+batch)
+	}
+
+	// Invalid models are rejected at the facade.
+	if _, err := eng.MeasureBatchNoisy(scheme, signals, NoiseModel{Kind: "poisson"}); err == nil {
+		t.Fatal("invalid model accepted by MeasureBatchNoisy")
+	}
+	if _, err := eng.DecodeNoisy(context.Background(), scheme, ys[0], k, NoiseModel{Kind: "poisson"}); err == nil {
+		t.Fatal("invalid model accepted by DecodeNoisy")
+	}
+}

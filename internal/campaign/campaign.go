@@ -21,6 +21,7 @@ import (
 
 	"pooleddata/internal/decoder"
 	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
 )
 
 // Config sizes a Store.
@@ -81,6 +82,9 @@ type JobResult struct {
 	Consistent bool `json:"consistent"`
 	// DecodeNS is the time spent inside the decoder.
 	DecodeNS int64 `json:"decode_ns"`
+	// Decoder is the decoder that ran the job — for campaigns without an
+	// explicit decoder, the one the noise policy selected server-side.
+	Decoder string `json:"decoder,omitempty"`
 	// Error is set for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
 }
@@ -95,6 +99,9 @@ type Progress struct {
 	Completed int    `json:"completed"`
 	Failed    int    `json:"failed"`
 	Canceled  int    `json:"canceled"`
+	// Noise is the campaign's canonical noise model, present when the
+	// campaign was submitted with a non-exact model.
+	Noise *noise.Model `json:"noise,omitempty"`
 	// Results are the settled jobs so far, ascending by Index.
 	Results []JobResult `json:"results"`
 }
@@ -110,6 +117,7 @@ func (p Progress) Terminal() bool { return p.State != Running }
 type Campaign struct {
 	id     string
 	total  int
+	noise  noise.Model // canonical; zero means exact
 	cancel context.CancelFunc
 
 	mu           sync.Mutex
@@ -145,6 +153,10 @@ func (cp *Campaign) progressLocked() Progress {
 		Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
 		Results: append([]JobResult(nil), cp.results...),
 	}
+	if !cp.noise.IsExact() {
+		nm := cp.noise
+		p.Noise = &nm
+	}
 	sort.Slice(p.Results, func(i, j int) bool { return p.Results[i].Index < p.Results[j].Index })
 	return p
 }
@@ -173,6 +185,7 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 		jr.Residual = res.Stats.Residual
 		jr.Consistent = res.Stats.Consistent
 		jr.DecodeNS = int64(res.Stats.DecodeTime)
+		jr.Decoder = res.Decoder
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		canceled = true
 		jr.Error = err.Error()
@@ -257,7 +270,13 @@ type Request struct {
 	Batch [][]int64
 	// K is the signal Hamming weight.
 	K int
-	// Dec selects the decoder; nil means the MN-Algorithm.
+	// Noise declares how the batch was measured; the zero value means
+	// exact counts. The model applies to every job of the campaign: it
+	// drives server-side decoder selection (when Dec is nil), widens the
+	// per-job consistency slack, and is reported back in Progress.
+	Noise noise.Model
+	// Dec selects the decoder explicitly, overriding the noise policy;
+	// nil means the policy's pick (the MN-Algorithm for exact batches).
 	Dec decoder.Decoder
 }
 
@@ -299,6 +318,9 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 			return nil, fmt.Errorf("campaign: job %d has %d counts for %d queries", i, len(y), m)
 		}
 	}
+	if err := req.Noise.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
 	// Admission control: a saturated owning shard rejects the whole batch
 	// up front instead of buffering it behind an already-full queue.
 	shard := st.cluster.Owner(req.Scheme)
@@ -318,6 +340,7 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 	cp := &Campaign{
 		id:      fmt.Sprintf("c%d", st.nextID),
 		total:   len(req.Batch),
+		noise:   req.Noise.Canon(),
 		cancel:  cancel,
 		changed: make(chan struct{}),
 	}
@@ -336,7 +359,7 @@ func (st *Store) dispatch(ctx context.Context, cp *Campaign, req Request) {
 	for i, y := range req.Batch {
 		idx := i
 		job := engine.Job{
-			Scheme: req.Scheme, Y: y, K: req.K, Dec: req.Dec,
+			Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
 			OnDone: func(res engine.Result, err error) { cp.settle(idx, res, err) },
 		}
 		if _, err := st.cluster.Submit(ctx, job); err != nil {

@@ -3,14 +3,19 @@ package campaign
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/graph"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
+	"pooleddata/internal/threshgt"
 )
 
 func testCluster(t *testing.T, shards, workers, queue int) *engine.Cluster {
@@ -266,5 +271,141 @@ func TestCampaignGC(t *testing.T) {
 	}
 	if live != 1 {
 		t.Fatalf("%d finished campaigns retained, want 1", live)
+	}
+}
+
+// thresholdBatch builds a threshold-T scheme on the cluster plus a
+// binarized measured batch through the noise model's batched path.
+func thresholdBatch(t *testing.T, c *engine.Cluster, n, k, T, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64, noise.Model) {
+	t.Helper()
+	des := pooling.RandomRegular{Gamma: threshgt.RecommendedGamma(n, k, T)}
+	s, err := c.Scheme(des, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := noise.Model{Kind: noise.Threshold, T: int64(T)}
+	signals := make([]*bitvec.Vector, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(seed+uint64(500+b)))
+	}
+	return s, signals, c.MeasureBatch(s, signals, nm), nm
+}
+
+// TestCampaignThresholdNoiseAcrossShards runs threshold-T campaigns on
+// a multi-shard cluster: the campaign-level noise model must survive the
+// FNV routing to each scheme's owning shard and the OnDone callback
+// fan-out, select the threshold-GT decoder server-side, and come back in
+// the campaign's progress and the shard's per-model counters.
+func TestCampaignThresholdNoiseAcrossShards(t *testing.T) {
+	const shards = 4
+	c := testCluster(t, shards, 1, 0)
+	st := NewStore(c, Config{})
+	n, k, T, m, batch := 400, 8, 2, 500, 4
+
+	// Two campaigns whose schemes live on different shards.
+	des := pooling.RandomRegular{Gamma: threshgt.RecommendedGamma(n, k, T)}
+	var seeds []uint64
+	homes := map[int]bool{}
+	for seed := uint64(0); len(seeds) < 2 && seed < 64; seed++ {
+		h := c.ShardOf(engine.SpecFor(des, n, m, seed))
+		if !homes[h] {
+			homes[h] = true
+			seeds = append(seeds, seed)
+		}
+	}
+	if len(seeds) < 2 {
+		t.Fatal("could not find specs on two shards")
+	}
+
+	for _, seed := range seeds {
+		s, signals, ys, nm := thresholdBatch(t, c, n, k, T, m, batch, seed)
+		cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Noise: nm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := cp.Wait(context.Background(), 10*time.Second)
+		if p.State != Done || p.Completed != batch {
+			t.Fatalf("campaign on shard %d: %+v", s.Home(), p)
+		}
+		if p.Noise == nil || p.Noise.Canon() != nm.Canon() {
+			t.Fatalf("progress lost the noise model: %+v", p.Noise)
+		}
+		for i, res := range p.Results {
+			if res.Decoder != (threshgt.Scored{}).Name() {
+				t.Fatalf("job %d decoder %q, want threshold-GT", i, res.Decoder)
+			}
+			if ov := bitvec.OverlapFraction(signals[i], bitvec.FromIndices(n, res.Support)); ov < 0.7 {
+				t.Fatalf("job %d overlap %.2f under threshold noise", i, ov)
+			}
+		}
+		if got := c.Shard(s.Home()).Stats().JobsByNoise[nm.Key()]; got < uint64(batch) {
+			t.Fatalf("shard %d JobsByNoise[%q] = %d, want ≥ %d", s.Home(), nm.Key(), got, batch)
+		}
+	}
+	if got := c.Stats().Total.JobsByNoise[(noise.Model{Kind: noise.Threshold, T: int64(T)}).Key()]; got != uint64(2*batch) {
+		t.Fatalf("aggregate per-model jobs = %d, want %d", got, 2*batch)
+	}
+}
+
+// TestCampaignNoiseHammer is the -race variant: many concurrent
+// threshold-noise campaigns across shards, all settling through the
+// OnDone fan-out while stats are polled concurrently.
+func TestCampaignNoiseHammer(t *testing.T) {
+	const shards = 4
+	c := testCluster(t, shards, 2, 8)
+	st := NewStore(c, Config{MaxActive: 64})
+	n, k, T, m, batch := 200, 5, 2, 220, 3
+
+	const campaigns = 12
+	type prepared struct {
+		s  *engine.Scheme
+		ys [][]int64
+		nm noise.Model
+	}
+	preps := make([]prepared, campaigns)
+	for i := range preps {
+		s, _, ys, nm := thresholdBatch(t, c, n, k, T, m, batch, uint64(i))
+		preps[i] = prepared{s, ys, nm}
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Stats() // races against settle paths under -race
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make([]error, campaigns)
+	for i := range preps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := st.Create(Request{Scheme: preps[i].s, Batch: preps[i].ys, K: k, Noise: preps[i].nm})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			p := cp.Wait(context.Background(), 20*time.Second)
+			if p.State != Done || p.Completed != batch {
+				errs[i] = fmt.Errorf("campaign %s: %+v", cp.ID(), p)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+	}
+	key := (noise.Model{Kind: noise.Threshold, T: int64(T)}).Key()
+	if got := c.Stats().Total.JobsByNoise[key]; got != uint64(campaigns*batch) {
+		t.Fatalf("aggregate JobsByNoise[%q] = %d, want %d", key, got, campaigns*batch)
 	}
 }

@@ -295,8 +295,17 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 		passes = 8
 	}
 
-	// Per-query predicted responses for the current estimate.
-	pred := Predict(g, est)
+	// Per-query predicted responses for the current estimate, accumulated
+	// from the k selected entries' edges (k·deg work; building the full
+	// query-side matrix as Predict does would cost a whole Γm pass per
+	// decode, dominating the refinement itself on large designs).
+	pred := make([]int64, g.M())
+	est.ForEachSet(func(i int) {
+		qs, mu := g.EntryQueries(i)
+		for p, j := range qs {
+			pred[j] += int64(mu[p])
+		}
+	})
 	misfit := int64(0)
 	for j := range y {
 		misfit += abs64(y[j] - pred[j])
@@ -318,16 +327,23 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 		}
 	}
 
+	// outAdj[j] is the multiplicity of the current removal candidate in
+	// query j, filled (and cleared) once per candidate so each swapDelta
+	// is O(deg(out) + deg(in)) instead of O(deg(out)·deg(in)).
+	outAdj := make([]int64, g.M())
 	for pass := 0; pass < passes && misfit > 0; pass++ {
 		improved := false
 		ones := est.Support()
 		for _, out := range ones {
 			qsOut, muOut := g.EntryQueries(out)
+			for p, j := range qsOut {
+				outAdj[j] = int64(muOut[p])
+			}
 			for ci, in := range candIn {
 				if in < 0 || est.Get(in) {
 					continue
 				}
-				delta := swapDelta(g, y, pred, out, in)
+				delta := swapDelta(g, y, pred, outAdj, qsOut, muOut, in)
 				if delta < 0 {
 					// Commit the swap.
 					qsIn, muIn := g.EntryQueries(in)
@@ -345,6 +361,9 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 					break
 				}
 			}
+			for _, j := range qsOut {
+				outAdj[j] = 0
+			}
 			if misfit == 0 {
 				break
 			}
@@ -357,25 +376,20 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 }
 
 // swapDelta returns the change in L1 misfit if entry out is dropped and
-// entry in is added, given current predictions pred.
-func swapDelta(g *graph.Bipartite, y, pred []int64, out, in int) int64 {
+// entry in is added, given current predictions pred. outAdj is out's
+// per-query multiplicity (dense over queries, zero elsewhere), qsOut and
+// muOut its edge list.
+func swapDelta(g *graph.Bipartite, y, pred, outAdj []int64, qsOut []int32, muOut []int32, in int) int64 {
 	var delta int64
-	qs, mu := g.EntryQueries(out)
-	for p, j := range qs {
+	for p, j := range qsOut {
 		before := abs64(y[j] - pred[j])
-		after := abs64(y[j] - (pred[j] - int64(mu[p])))
+		after := abs64(y[j] - (pred[j] - int64(muOut[p])))
 		delta += after - before
 	}
 	qsIn, muIn := g.EntryQueries(in)
 	for p, j := range qsIn {
 		// If j is also touched by out, account on top of the removal.
-		adj := int64(0)
-		for q, jj := range qs {
-			if jj == j {
-				adj = int64(mu[q])
-				break
-			}
-		}
+		adj := outAdj[j]
 		before := abs64(y[j] - (pred[j] - adj))
 		after := abs64(y[j] - (pred[j] - adj + int64(muIn[p])))
 		delta += after - before

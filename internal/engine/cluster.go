@@ -9,6 +9,7 @@ import (
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/graph"
+	"pooleddata/internal/noise"
 	"pooleddata/internal/pooling"
 )
 
@@ -156,9 +157,10 @@ func (c *Cluster) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k in
 	return c.Owner(s).DecodeBatch(ctx, s, ys, k, job)
 }
 
-// MeasureBatch evaluates the signals on the scheme's owning shard.
-func (c *Cluster) MeasureBatch(s *Scheme, signals []*bitvec.Vector) [][]int64 {
-	return c.Owner(s).MeasureBatch(s, signals)
+// MeasureBatch evaluates the signals on the scheme's owning shard under
+// the given noise model (zero model: exact counts).
+func (c *Cluster) MeasureBatch(s *Scheme, signals []*bitvec.Vector, nm noise.Model) [][]int64 {
+	return c.Owner(s).MeasureBatch(s, signals, nm)
 }
 
 // ShardStats is one shard's counters plus its live queue gauges.

@@ -94,6 +94,13 @@ type Stats struct {
 	// DecodeLatency are per-decoder latency histograms over every job that
 	// reached its decoder (completed or failed), keyed by decoder name.
 	DecodeLatency map[string]LatencyHistogram `json:"decode_latency,omitempty"`
+
+	// JobsByNoise counts jobs that reached their decoder, keyed by the
+	// canonical noise-model key ("exact", "gaussian(sigma=0.5)",
+	// "threshold(T=2)") — the per-model breakdown /v1/stats serves.
+	JobsByNoise map[string]uint64 `json:"jobs_by_noise,omitempty"`
+	// NoiseLatency are decode-latency histograms keyed the same way.
+	NoiseLatency map[string]LatencyHistogram `json:"noise_latency,omitempty"`
 }
 
 // add accumulates src into s (cluster aggregation). Histograms merge
@@ -120,6 +127,20 @@ func (s *Stats) add(src Stats) {
 		dst := s.DecodeLatency[name]
 		dst.merge(h)
 		s.DecodeLatency[name] = dst
+	}
+	for key, n := range src.JobsByNoise {
+		if s.JobsByNoise == nil {
+			s.JobsByNoise = make(map[string]uint64)
+		}
+		s.JobsByNoise[key] += n
+	}
+	for key, h := range src.NoiseLatency {
+		if s.NoiseLatency == nil {
+			s.NoiseLatency = make(map[string]LatencyHistogram)
+		}
+		dst := s.NoiseLatency[key]
+		dst.merge(h)
+		s.NoiseLatency[key] = dst
 	}
 }
 
@@ -154,10 +175,11 @@ func (c *counters) snapshot() Stats {
 // pipeline. Create one with New and release its workers with Close. Safe
 // for concurrent use.
 type Engine struct {
-	cfg   Config
-	cache *cache
-	stats counters
-	hist  histogramSet
+	cfg       Config
+	cache     *cache
+	stats     counters
+	hist      histogramSet
+	noiseHist histogramSet
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -172,6 +194,9 @@ func New(cfg Config) *Engine {
 		cfg:  cfg,
 		jobs: make(chan *task, cfg.queueDepth()),
 	}
+	// Noise-model keys embed caller-supplied parameters (σ, T); bound the
+	// per-model breakdown so a sigma sweep cannot grow it without limit.
+	e.noiseHist.limit = 64
 	e.cache = newCache(cfg.cacheCapacity(), &e.stats)
 	for w := 0; w < cfg.workers(); w++ {
 		e.wg.Add(1)
@@ -195,10 +220,17 @@ func (e *Engine) Close() {
 }
 
 // Stats returns a snapshot of the engine counters, including the
-// per-decoder latency histograms.
+// per-decoder and per-noise-model latency histograms.
 func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot()
 	st.DecodeLatency = e.hist.snapshot()
+	st.NoiseLatency = e.noiseHist.snapshot()
+	if len(st.NoiseLatency) > 0 {
+		st.JobsByNoise = make(map[string]uint64, len(st.NoiseLatency))
+		for key, h := range st.NoiseLatency {
+			st.JobsByNoise[key] = h.Count
+		}
+	}
 	return st
 }
 
@@ -259,6 +291,9 @@ func validateJob(job Job) error {
 	}
 	if job.K < 0 || job.K > job.Scheme.G.N() {
 		return fmt.Errorf("engine: weight k=%d out of [0,%d]", job.K, job.Scheme.G.N())
+	}
+	if err := job.Noise.Validate(); err != nil {
+		return fmt.Errorf("engine: %w", err)
 	}
 	return nil
 }

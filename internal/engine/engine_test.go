@@ -10,6 +10,7 @@ import (
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
 	"pooleddata/internal/graph"
+	"pooleddata/internal/noise"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
@@ -294,7 +295,7 @@ func TestMeasureBatchAndDecodeBatch(t *testing.T) {
 	for b := range signals {
 		signals[b] = bitvec.Random(500, k, rng.NewRandSeeded(uint64(100+b)))
 	}
-	ys := e.MeasureBatch(s, signals)
+	ys := e.MeasureBatch(s, signals, noise.Model{})
 	for b, sig := range signals {
 		want := query.Execute(s.G, sig, query.Options{}).Y
 		for j := range want {

@@ -91,13 +91,23 @@ func (dst *LatencyHistogram) merge(src LatencyHistogram) {
 	}
 }
 
-// histogramSet keys histograms by decoder name. The read path (one map
-// lookup per completed job) dominates, so it uses an RWMutex with a
-// write lock only on the first job of each decoder kind.
+// histogramSet keys histograms by name (decoder names, noise-model
+// keys). The read path (one map lookup per completed job) dominates, so
+// it uses an RWMutex with a write lock only on the first job of each
+// key. limit bounds the number of distinct keys when the key space is
+// caller-controlled (noise-model keys embed user-supplied parameters, so
+// a sigma sweep must not grow the map — and every /v1/stats payload —
+// without bound); past the limit, new keys collapse into overflowKey.
+// 0 means unlimited (the decoder-name set is fixed and small).
 type histogramSet struct {
-	mu sync.RWMutex
-	m  map[string]*histogram
+	mu    sync.RWMutex
+	m     map[string]*histogram
+	limit int
 }
+
+// overflowKey buckets observations whose key would exceed the set's
+// limit.
+const overflowKey = "other"
 
 func (s *histogramSet) get(name string) *histogram {
 	s.mu.RLock()
@@ -111,10 +121,18 @@ func (s *histogramSet) get(name string) *histogram {
 	if s.m == nil {
 		s.m = make(map[string]*histogram)
 	}
-	if h = s.m[name]; h == nil {
-		h = &histogram{}
-		s.m[name] = h
+	if h = s.m[name]; h != nil {
+		return h
 	}
+	if s.limit > 0 && len(s.m) >= s.limit {
+		if h = s.m[overflowKey]; h == nil {
+			h = &histogram{}
+			s.m[overflowKey] = h
+		}
+		return h
+	}
+	h = &histogram{}
+	s.m[name] = h
 	return h
 }
 

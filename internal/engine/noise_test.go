@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/rng"
+	"pooleddata/internal/threshgt"
+)
+
+func TestNoisyJobSelectsRobustDecoder(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	n, k, m := 300, 5, 260
+	s, err := e.Scheme(nil, n, m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(12))
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: 21}
+	ys := e.MeasureBatch(s, []*bitvec.Vector{sigma}, nm)
+
+	res, err := e.Decode(context.Background(), Job{Scheme: s, Y: ys[0], K: k, Noise: nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The policy, not the caller, picked the decoder for the model.
+	if want := noise.SelectDecoder(nm, noise.SchemeParams{N: n, M: m, K: k}).Name(); res.Decoder != want {
+		t.Fatalf("decoder %q, want policy's %q", res.Decoder, want)
+	}
+	if !res.Estimate.Equal(sigma) {
+		t.Fatalf("noisy decode missed the signal (overlap %.2f)", bitvec.OverlapFraction(sigma, res.Estimate))
+	}
+	// The noisy counts misfit any estimate, but the residual slack keeps a
+	// correct recovery "consistent".
+	if res.Stats.Residual == 0 {
+		t.Fatal("residual 0 under gaussian noise is implausible")
+	}
+	if !res.Stats.Consistent {
+		t.Fatalf("correct estimate not consistent within slack (residual %d, slack %d)",
+			res.Stats.Residual, nm.ResidualSlack(m))
+	}
+
+	// Per-model counters broke the job out under its canonical key.
+	st := e.Stats()
+	if got := st.JobsByNoise[nm.Key()]; got != 1 {
+		t.Fatalf("JobsByNoise[%q] = %d, want 1 (have %v)", nm.Key(), got, st.JobsByNoise)
+	}
+	if h := st.NoiseLatency[nm.Key()]; h.Count != 1 {
+		t.Fatalf("NoiseLatency[%q].Count = %d, want 1", nm.Key(), h.Count)
+	}
+
+	// An exact job lands under "exact", separately.
+	yExact := e.MeasureBatch(s, []*bitvec.Vector{sigma}, noise.Model{})
+	if _, err := e.Decode(context.Background(), Job{Scheme: s, Y: yExact[0], K: k}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if got := st.JobsByNoise["exact"]; got != 1 {
+		t.Fatalf("JobsByNoise[exact] = %d, want 1 (have %v)", got, st.JobsByNoise)
+	}
+}
+
+func TestExplicitDecoderOverridesNoisePolicy(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	s, err := e.Scheme(nil, 120, 90, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(120, 3, rng.NewRandSeeded(5))
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: 6}
+	ys := e.MeasureBatch(s, []*bitvec.Vector{sigma}, nm)
+	dec, err := DecoderByName("mn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Decode(context.Background(), Job{Scheme: s, Y: ys[0], K: 3, Noise: nm, Dec: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decoder != "mn" {
+		t.Fatalf("explicit decoder overridden: got %q", res.Decoder)
+	}
+}
+
+func TestNoiseModelValidationAtSubmit(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	s, err := e.Scheme(nil, 50, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Job{Scheme: s, Y: make([]int64, 30), K: 1, Noise: noise.Model{Kind: "poisson"}}
+	if _, err := e.Submit(context.Background(), bad); err == nil {
+		t.Fatal("invalid noise model accepted")
+	}
+}
+
+func TestMeasureBatchNoisyReproducible(t *testing.T) {
+	e := New(Config{Workers: 3})
+	defer e.Close()
+	s, err := e.Scheme(nil, 200, 150, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make([]*bitvec.Vector, 4)
+	for b := range signals {
+		signals[b] = bitvec.Random(200, 4, rng.NewRandSeeded(uint64(60+b)))
+	}
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 2, Seed: 31}
+	a := e.MeasureBatch(s, signals, nm)
+	b := e.MeasureBatch(s, signals, nm)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("seeded noise not reproducible at (%d,%d)", i, j)
+			}
+		}
+	}
+	if st := e.Stats(); st.SignalsMeasured != 8 {
+		t.Fatalf("signals measured %d, want 8", st.SignalsMeasured)
+	}
+}
+
+// TestThresholdNoiseAcrossCluster drives threshold-T jobs through a
+// multi-shard cluster: the noise model must survive the FNV spec-hash
+// routing to the owning shard, select the threshold-GT decoder there,
+// and be counted in that shard's per-model stats.
+func TestThresholdNoiseAcrossCluster(t *testing.T) {
+	const shards = 4
+	c := NewCluster(ClusterConfig{Shards: shards, Shard: Config{CacheCapacity: 4, Workers: 1}})
+	defer c.Close()
+
+	n, k, T := 400, 8, 2
+	m := 500
+	des := pooling.RandomRegular{Gamma: threshgt.RecommendedGamma(n, k, T)}
+	nm := noise.Model{Kind: noise.Threshold, T: int64(T)}
+
+	// Find seeds whose specs land on two different shards, so the model
+	// demonstrably crosses the routing boundary.
+	homes := map[int]uint64{}
+	for seed := uint64(0); len(homes) < 2 && seed < 64; seed++ {
+		h := c.ShardOf(SpecFor(des, n, m, seed))
+		if _, ok := homes[h]; !ok {
+			homes[h] = seed
+		}
+	}
+	if len(homes) < 2 {
+		t.Fatal("could not find specs on two shards")
+	}
+
+	for home, seed := range homes {
+		s, err := c.Scheme(des, n, m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Home() != home {
+			t.Fatalf("scheme home %d, want %d", s.Home(), home)
+		}
+		sigma := bitvec.Random(n, k, rng.NewRandSeeded(seed^0x5555))
+		ys := c.MeasureBatch(s, []*bitvec.Vector{sigma}, nm)
+		for j, v := range ys[0] {
+			if v != 0 && v != 1 {
+				t.Fatalf("threshold response %d at query %d not binary", v, j)
+			}
+		}
+		res, err := c.Decode(context.Background(), Job{Scheme: s, Y: ys[0], K: k, Noise: nm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decoder != (threshgt.Scored{}).Name() {
+			t.Fatalf("shard %d selected %q, want threshold-GT decoder", home, res.Decoder)
+		}
+		if ov := bitvec.OverlapFraction(sigma, res.Estimate); ov < 0.7 {
+			t.Fatalf("shard %d threshold decode overlap %.2f", home, ov)
+		}
+		// The job was counted on the owning shard under the model key.
+		if got := c.Shard(home).Stats().JobsByNoise[nm.Key()]; got != 1 {
+			t.Fatalf("shard %d JobsByNoise[%q] = %d, want 1", home, nm.Key(), got)
+		}
+	}
+
+	// The fleet aggregate merges the per-shard noise maps.
+	if got := c.Stats().Total.JobsByNoise[nm.Key()]; got != uint64(len(homes)) {
+		t.Fatalf("aggregate JobsByNoise[%q] = %d, want %d", nm.Key(), got, len(homes))
+	}
+}
+
+func TestNoiseHistogramKeyLimit(t *testing.T) {
+	// Noise-model keys embed caller-supplied parameters, so the per-model
+	// breakdown must not grow without bound under a sigma sweep: past the
+	// limit, new keys collapse into the overflow bucket.
+	var s histogramSet
+	s.limit = 2
+	s.get("gaussian(sigma=0.1)").observe(time.Millisecond)
+	s.get("gaussian(sigma=0.2)").observe(time.Millisecond)
+	s.get("gaussian(sigma=0.3)").observe(time.Millisecond)
+	s.get("gaussian(sigma=0.4)").observe(time.Millisecond)
+	snap := s.snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d keys, want 2 + overflow", len(snap))
+	}
+	if got := snap[overflowKey].Count; got != 2 {
+		t.Fatalf("overflow bucket count %d, want 2", got)
+	}
+	// Established keys keep resolving to their own histogram.
+	s.get("gaussian(sigma=0.1)").observe(time.Millisecond)
+	if got := s.snapshot()["gaussian(sigma=0.1)"].Count; got != 2 {
+		t.Fatalf("existing key count %d, want 2", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
+	"pooleddata/internal/noise"
 )
 
 // Job is one decode request: invert the scheme's design on the measured
@@ -19,8 +20,15 @@ type Job struct {
 	Y []int64
 	// K is the signal's Hamming weight.
 	K int
-	// Dec selects the reconstruction algorithm; nil means the paper's
-	// MN-Algorithm.
+	// Noise declares how Y was measured; the zero value means exact
+	// additive counts. A non-exact model drives server-side decoder
+	// selection (when Dec is nil), widens the consistency check by the
+	// model's residual slack, and breaks the job out in the per-model
+	// engine counters.
+	Noise noise.Model
+	// Dec selects the reconstruction algorithm explicitly, overriding the
+	// noise policy; nil means noise.SelectDecoder for noisy jobs and the
+	// paper's MN-Algorithm for exact ones.
 	Dec decoder.Decoder
 	// OnDone, if set, is invoked exactly once when the job settles —
 	// completed, failed, or canceled — after its Future completes. It runs
@@ -30,10 +38,13 @@ type Job struct {
 }
 
 func (j Job) dec() decoder.Decoder {
-	if j.Dec == nil {
-		return decoder.MN{}
+	if j.Dec != nil {
+		return j.Dec
 	}
-	return j.Dec
+	if nm := j.Noise.Canon(); nm.Kind != noise.Exact && j.Scheme != nil && j.Scheme.G != nil {
+		return noise.SelectDecoder(nm, noise.SchemeParams{N: j.Scheme.G.N(), M: j.Scheme.G.M(), K: j.K})
+	}
+	return decoder.MN{}
 }
 
 // JobStats are the per-job measurements the pipeline records.
@@ -43,9 +54,12 @@ type JobStats struct {
 	QueueWait time.Duration
 	// DecodeTime is the time spent inside the decoder.
 	DecodeTime time.Duration
-	// Residual is the L1 misfit Σ_j |y_j − ŷ_j| of the estimate.
+	// Residual is the L1 misfit Σ_j |y_j − ŷ_j| of the estimate, with
+	// predictions mapped through the job's noise model (thresholded for
+	// threshold jobs) before comparison.
 	Residual int64
-	// Consistent reports whether the estimate reproduces Y exactly.
+	// Consistent reports whether the estimate reproduces Y within the
+	// noise model's residual slack (exactly, for exact jobs).
 	Consistent bool
 }
 
@@ -55,6 +69,9 @@ type Result struct {
 	Support []int
 	// Estimate is the recovered signal as a bit vector.
 	Estimate *bitvec.Vector
+	// Decoder is the name of the decoder that ran the job — for jobs
+	// without an explicit decoder, the one the noise policy selected.
+	Decoder string
 	// Stats are the per-job pipeline measurements.
 	Stats JobStats
 }
@@ -181,22 +198,25 @@ func (e *Engine) run(t *task) {
 		return
 	}
 	dec := t.job.dec()
+	nm := t.job.Noise.Canon()
 	start := time.Now()
 	est, err := dec.Decode(t.job.Scheme.G, t.job.Y, t.job.K)
 	elapsed := time.Since(start)
 	e.hist.get(dec.Name()).observe(elapsed)
+	e.noiseHist.get(nm.Key()).observe(elapsed)
 	if err != nil {
 		e.stats.jobsFailed.Add(1)
-		t.settle(Result{Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
+		t.settle(Result{Decoder: dec.Name(), Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
 		return
 	}
 	res := Result{
 		Support:  est.Support(),
 		Estimate: est,
+		Decoder:  dec.Name(),
 		Stats:    JobStats{QueueWait: wait, DecodeTime: elapsed},
 	}
-	res.Stats.Residual = e.residual(t.job.Scheme, est, t.job.Y)
-	res.Stats.Consistent = res.Stats.Residual == 0
+	res.Stats.Residual = e.residual(t.job.Scheme, est, t.job.Y, nm)
+	res.Stats.Consistent = res.Stats.Residual <= nm.ResidualSlack(len(t.job.Y))
 
 	e.stats.jobsCompleted.Add(1)
 	if res.Stats.Consistent {
@@ -217,13 +237,15 @@ func (t *task) settle(res Result, err error) {
 
 // residual computes the L1 misfit of est against y using the scheme's
 // shared query-side matrix (decoder.Residual would rebuild it per call).
-func (e *Engine) residual(s *Scheme, est *bitvec.Vector, y []int64) int64 {
+// Predicted counts pass through the noise model first, so threshold jobs
+// compare binarized responses rather than raw counts.
+func (e *Engine) residual(s *Scheme, est *bitvec.Vector, y []int64, nm noise.Model) int64 {
 	x := make([]int64, s.G.N())
 	est.ForEachSet(func(i int) { x[i] = 1 })
 	pred := s.QueryMatrix().MulVec(x, nil)
 	var r int64
 	for j := range y {
-		d := y[j] - pred[j]
+		d := y[j] - nm.TransformExpected(pred[j])
 		if d < 0 {
 			d = -d
 		}

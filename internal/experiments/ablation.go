@@ -8,6 +8,7 @@ import (
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
 	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/rng"
@@ -129,24 +130,28 @@ func PartialParallel(n, k, m int, units []int, lat query.LatencyModel, cfg Confi
 	return out, nil
 }
 
-// NoiseRobustness sweeps the noisy oracle's σ at a fixed operating point
-// and reports the mean overlap — the extension experiment for the
-// measurement-error regime.
+// NoiseRobustness sweeps the Gaussian noise model's σ at a fixed
+// operating point and reports the mean overlap — the extension
+// experiment for the measurement-error regime. Each trial runs the
+// exact service code path: a noise.Model carried by the job drives the
+// batched per-signal noise streams on the measurement side and the
+// robust-decoder policy on the decode side (unless cfg.Decoder pins a
+// decoder explicitly).
 func NoiseRobustness(n, k, m int, sigmas []float64, cfg Config) (Series, error) {
 	s := Series{Label: fmt.Sprintf("noise(n=%d,k=%d,m=%d)", n, k, m)}
-	for si, noise := range sigmas {
+	for si, sg := range sigmas {
 		pointSeed := rng.DeriveSeed(cfg.Seed, uint64(si))
-		oracle := query.Noisy{Sigma: noise}
 		vals, err := forEachTrial(cfg.trials(), cfg.workers(), func(t int) (float64, error) {
 			seed := rng.DeriveSeed(pointSeed, uint64(t))
 			e := Engine()
-			s, err := e.Scheme(cfg.design(), n, m, rng.DeriveSeed(seed, 1))
+			sch, err := e.Scheme(cfg.design(), n, m, rng.DeriveSeed(seed, 1))
 			if err != nil {
 				return 0, err
 			}
 			sigma := bitvec.Random(n, k, rng.NewRandSeeded(rng.DeriveSeed(seed, 2)))
-			res := query.Execute(s.G, sigma, query.Options{Oracle: oracle, Seed: rng.DeriveSeed(seed, 3)})
-			r, err := e.Decode(context.Background(), engine.Job{Scheme: s, Y: res.Y, K: k, Dec: cfg.decoder()})
+			model := noise.Model{Kind: noise.Gaussian, Sigma: sg, Seed: rng.DeriveSeed(seed, 3)}
+			ys := e.MeasureBatch(sch, []*bitvec.Vector{sigma}, model)
+			r, err := e.Decode(context.Background(), engine.Job{Scheme: sch, Y: ys[0], K: k, Noise: model, Dec: cfg.Decoder})
 			if err != nil {
 				return 0, err
 			}
@@ -155,7 +160,7 @@ func NoiseRobustness(n, k, m int, sigmas []float64, cfg Config) (Series, error) 
 		if err != nil {
 			return Series{}, err
 		}
-		s.Points = append(s.Points, meanPoint(noise, vals))
+		s.Points = append(s.Points, meanPoint(sg, vals))
 	}
 	return s, nil
 }

@@ -1,0 +1,294 @@
+// Package noise is the measurement-noise subsystem of the reconstruction
+// service: a declarative noise-model spec shared by every layer (engine
+// jobs, campaigns, the pooledd wire API, the figure sweeps), per-signal
+// noise streams for the batched measurement path, and a decoder-selection
+// policy that picks the most robust reconstruction algorithm for a model.
+//
+// The paper's guarantees degrade gracefully under noisy and threshold
+// oracles (§VI); operationally that means a decode request is not just
+// (scheme, counts, k) but also *how* the counts were produced. A Model
+// captures that provenance: exact additive counts, additive rounded
+// Gaussian noise of standard deviation σ, or threshold-T binarized
+// responses. Models are pure values — comparable, canonicalizable, and
+// serializable to both JSON ({"kind":"gaussian","sigma":0.5,"seed":7})
+// and the compact colon form ("gaussian:0.5:7") used in CSV query
+// parameters.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+)
+
+// Kind names a noise-model family.
+type Kind string
+
+const (
+	// Exact is the paper's noiseless additive oracle (the zero model).
+	Exact Kind = "exact"
+	// Gaussian adds rounded N(0, σ²) noise to every count, clamped at 0.
+	Gaussian Kind = "gaussian"
+	// Threshold binarizes every count against a threshold T ≥ 1 — the
+	// threshold group testing oracle of the §VI outlook.
+	Threshold Kind = "threshold"
+)
+
+// Model is a declarative noise-model spec. The zero value is the exact
+// model. Models travel with decode jobs and campaigns, so equal models
+// must compare equal after Canon.
+type Model struct {
+	// Kind selects the family; empty means Exact.
+	Kind Kind `json:"kind"`
+	// Sigma is the Gaussian standard deviation (Gaussian models only).
+	Sigma float64 `json:"sigma,omitempty"`
+	// T is the threshold (Threshold models only); 0 means 1, negative
+	// values fail validation.
+	T int64 `json:"t,omitempty"`
+	// Seed roots the per-signal noise streams: two runs with equal
+	// (Model, signals) produce bit-identical perturbed counts. Only
+	// Gaussian models consume it.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Canon returns the canonical form of m: an empty kind becomes Exact, a
+// σ = 0 Gaussian collapses to Exact, T is clamped to at least 1, and
+// fields irrelevant to the kind are zeroed so canonical models compare
+// equal with ==.
+func (m Model) Canon() Model {
+	switch m.Kind {
+	case Gaussian:
+		if m.Sigma == 0 {
+			return Model{Kind: Exact}
+		}
+		return Model{Kind: Gaussian, Sigma: m.Sigma, Seed: m.Seed}
+	case Threshold:
+		t := m.T
+		if t < 1 {
+			t = 1
+		}
+		return Model{Kind: Threshold, T: t}
+	default:
+		return Model{Kind: Exact}
+	}
+}
+
+// Validate reports whether m describes a well-formed model. The zero
+// value is valid (exact). Parameters belonging to a different kind are
+// rejected rather than silently dropped — {"sigma":4} without
+// "kind":"gaussian" must not decode as the exact model. Seed is
+// accepted on any kind (documented as consumed by Gaussian only).
+func (m Model) Validate() error {
+	switch m.Kind {
+	case "", Exact:
+		if m.Sigma != 0 || m.T != 0 {
+			return fmt.Errorf("noise: exact model carries parameters (sigma=%v, t=%d) — missing kind?", m.Sigma, m.T)
+		}
+		return nil
+	case Gaussian:
+		if m.Sigma < 0 || math.IsNaN(m.Sigma) || math.IsInf(m.Sigma, 0) {
+			return fmt.Errorf("noise: gaussian sigma %v out of range", m.Sigma)
+		}
+		if m.T != 0 {
+			return fmt.Errorf("noise: gaussian model carries threshold t=%d", m.T)
+		}
+		return nil
+	case Threshold:
+		if m.T < 0 {
+			return fmt.Errorf("noise: threshold T=%d negative", m.T)
+		}
+		if m.Sigma != 0 {
+			return fmt.Errorf("noise: threshold model carries sigma=%v", m.Sigma)
+		}
+		return nil
+	}
+	return fmt.Errorf("noise: unknown kind %q", m.Kind)
+}
+
+// IsExact reports whether m canonicalizes to the exact model.
+func (m Model) IsExact() bool { return m.Canon().Kind == Exact }
+
+// Key is the canonical string key of the model *family and parameters*
+// (seed excluded): the key stats maps and histograms are broken out by.
+// Two campaigns with different seeds but the same σ share a key.
+func (m Model) Key() string {
+	c := m.Canon()
+	switch c.Kind {
+	case Gaussian:
+		return fmt.Sprintf("gaussian(sigma=%g)", c.Sigma)
+	case Threshold:
+		return fmt.Sprintf("threshold(T=%d)", c.T)
+	default:
+		return string(Exact)
+	}
+}
+
+// String is the compact colon wire form: "exact", "gaussian:0.5",
+// "gaussian:0.5:7" (with seed), "threshold:2". Parse inverts it.
+func (m Model) String() string {
+	c := m.Canon()
+	switch c.Kind {
+	case Gaussian:
+		if c.Seed != 0 {
+			return fmt.Sprintf("gaussian:%g:%d", c.Sigma, c.Seed)
+		}
+		return fmt.Sprintf("gaussian:%g", c.Sigma)
+	case Threshold:
+		return fmt.Sprintf("threshold:%d", c.T)
+	default:
+		return string(Exact)
+	}
+}
+
+// Parse reads the compact colon wire form ("kind[:param[:seed]]") used
+// where JSON is unavailable — the CSV decode path's ?noise= query
+// parameter. An empty string is the exact model.
+func Parse(s string) (Model, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Model{Kind: Exact}, nil
+	}
+	parts := strings.Split(s, ":")
+	var m Model
+	switch Kind(parts[0]) {
+	case Exact:
+		if len(parts) > 1 {
+			return Model{}, fmt.Errorf("noise: exact takes no parameters in %q", s)
+		}
+		return Model{Kind: Exact}, nil
+	case Gaussian:
+		if len(parts) < 2 || len(parts) > 3 {
+			return Model{}, fmt.Errorf("noise: want gaussian:sigma[:seed], got %q", s)
+		}
+		sigma, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return Model{}, fmt.Errorf("noise: bad sigma in %q: %v", s, err)
+		}
+		m = Model{Kind: Gaussian, Sigma: sigma}
+		if len(parts) == 3 {
+			seed, err := strconv.ParseUint(parts[2], 10, 64)
+			if err != nil {
+				return Model{}, fmt.Errorf("noise: bad seed in %q: %v", s, err)
+			}
+			m.Seed = seed
+		}
+	case Threshold:
+		if len(parts) != 2 {
+			return Model{}, fmt.Errorf("noise: want threshold:T, got %q", s)
+		}
+		t, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return Model{}, fmt.Errorf("noise: bad T in %q: %v", s, err)
+		}
+		m = Model{Kind: Threshold, T: t}
+	default:
+		return Model{}, fmt.Errorf("noise: unknown kind %q", parts[0])
+	}
+	if err := m.Validate(); err != nil {
+		return Model{}, err
+	}
+	return m, nil
+}
+
+// Oracle returns the simulation oracle realizing the model, for the
+// single-signal query.Execute path.
+func (m Model) Oracle() query.Oracle {
+	c := m.Canon()
+	switch c.Kind {
+	case Gaussian:
+		return query.Noisy{Sigma: c.Sigma}
+	case Threshold:
+		return query.Threshold{T: c.T}
+	default:
+		return query.Additive{}
+	}
+}
+
+// Perturb maps one exact additive count to the response the model's
+// oracle would return, drawing Gaussian noise from r. It performs the
+// same arithmetic as the corresponding query.Oracle, so a batched
+// measurement pass that shares the edge traversal and perturbs the
+// per-signal counts afterwards is bit-identical to per-signal Execute
+// calls with the same streams. r may be nil for deterministic models.
+func (m Model) Perturb(v int64, r *rng.Rand) int64 {
+	c := m.Canon()
+	switch c.Kind {
+	case Gaussian:
+		if r != nil {
+			v += int64(c.Sigma*r.NormFloat64() + 0.5)
+		}
+		if v < 0 {
+			v = 0
+		}
+		return v
+	case Threshold:
+		if v >= c.T {
+			return 1
+		}
+		return 0
+	default:
+		return v
+	}
+}
+
+// Deterministic reports whether Perturb ignores its stream (exact and
+// threshold models); deterministic models skip stream construction in
+// the batched path.
+func (m Model) Deterministic() bool { return m.Canon().Kind != Gaussian }
+
+// SignalSeed derives the independent noise-stream root of signal b in a
+// batch. Per-query streams then derive from it exactly as query.Execute
+// derives them from Options.Seed, so batch row b reproduces
+// Execute(g, sigmas[b], Options{Oracle: m.Oracle(), Seed: m.SignalSeed(b)}).
+func (m Model) SignalSeed(b int) uint64 {
+	return rng.DeriveSeed(m.Canon().Seed, uint64(b))
+}
+
+// SignalSeeds derives the per-signal stream roots for a batch of nb
+// signals — the seeds argument of query.ExecuteBatchNoisy.
+func (m Model) SignalSeeds(nb int) []uint64 {
+	seeds := make([]uint64, nb)
+	for b := range seeds {
+		seeds[b] = m.SignalSeed(b)
+	}
+	return seeds
+}
+
+// ResidualSlack is the L1 misfit a consistent estimate is allowed under
+// the model. Exact and threshold responses admit no slack. For Gaussian
+// noise even the *true* signal misfits: its expected L1 residual is
+// m·σ·√(2/π) (the mean absolute value of N(0,σ²), summed over queries),
+// so the slack is that expectation plus two standard deviations of the
+// sum, rounded up. Estimates within the slack count as consistent in
+// job stats.
+func (m Model) ResidualSlack(mQueries int) int64 {
+	c := m.Canon()
+	if c.Kind != Gaussian || mQueries <= 0 {
+		return 0
+	}
+	mf := float64(mQueries)
+	mean := mf * c.Sigma * math.Sqrt(2/math.Pi)
+	// Var|N(0,σ²)| = σ²(1 − 2/π) per query, independent across queries.
+	std := c.Sigma * math.Sqrt(mf*(1-2/math.Pi))
+	return int64(math.Ceil(mean + 2*std))
+}
+
+// TransformExpected maps a predicted exact count to the noiseless
+// expected response under the model: thresholding for threshold models,
+// identity otherwise. Residual checks compare transformed predictions
+// against the observed responses, so a threshold decode's estimate is
+// judged in response space rather than count space.
+func (m Model) TransformExpected(v int64) int64 {
+	c := m.Canon()
+	if c.Kind == Threshold {
+		if v >= c.T {
+			return 1
+		}
+		return 0
+	}
+	return v
+}

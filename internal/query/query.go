@@ -232,9 +232,10 @@ func Execute(g *graph.Bipartite, sigma *bitvec.Vector, opts Options) Result {
 // pass over the pooling matrix: each query's edge list is traversed once
 // and scored against all signals, amortizing the Γm edge traversal across
 // the batch (B separate Execute calls traverse it B times). Only the
-// exact additive oracle is supported — noisy oracles draw per-signal
-// streams and must use Execute. Row b of the result is the count vector
-// of sigmas[b]; it is bit-identical to Execute(g, sigmas[b], ...).Y.
+// exact additive oracle is supported here — imperfect oracles go through
+// ExecuteBatchNoisy, which shares the pass and perturbs per-signal.
+// Row b of the result is the count vector of sigmas[b]; it is
+// bit-identical to Execute(g, sigmas[b], ...).Y.
 func ExecuteBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int) [][]int64 {
 	nb := len(sigmas)
 	for b, s := range sigmas {
@@ -274,6 +275,104 @@ func ExecuteBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int) [][]
 			}
 			for b := range acc {
 				out[b][j] = acc[b]
+			}
+		}
+	}
+	if workers <= 1 {
+		scan(0, m)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Perturber maps the exact additive count of one (signal, query) cell to
+// the response an imperfect oracle would return. r is the cell's private
+// noise stream (nil when Deterministic reports true). noise.Model is the
+// canonical implementation; the interface lives here so the executor does
+// not depend on the noise subsystem.
+type Perturber interface {
+	// Perturb returns the oracle response for an exact count v.
+	Perturb(v int64, r *rng.Rand) int64
+	// Deterministic reports whether Perturb ignores its stream.
+	Deterministic() bool
+}
+
+// ExecuteBatchNoisy is ExecuteBatch for imperfect oracles: one pass over
+// the pooling matrix computes every signal's exact counts, then each
+// (signal b, query j) cell is perturbed with a stream derived from
+// (seeds[b], j) — the same derivation Execute uses from (Options.Seed, j).
+// Row b is therefore bit-identical to Execute(g, sigmas[b],
+// Options{Oracle: ..., Seed: seeds[b]}) for count-only oracles,
+// independent of batch composition and worker count, and two batches with
+// equal seeds perturb identically. len(seeds) must equal len(sigmas);
+// deterministic perturbers may pass nil seeds.
+func ExecuteBatchNoisy(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int, p Perturber, seeds []uint64) [][]int64 {
+	nb := len(sigmas)
+	for b, s := range sigmas {
+		if g.N() != s.Len() {
+			panic(fmt.Sprintf("query: design over %d entries, signal %d has %d", g.N(), b, s.Len()))
+		}
+	}
+	needStreams := p != nil && !p.Deterministic()
+	if needStreams && len(seeds) != nb {
+		panic(fmt.Sprintf("query: %d noise seeds for %d signals", len(seeds), nb))
+	}
+	m := g.M()
+	out := make([][]int64, nb)
+	for b := range out {
+		out[b] = make([]int64, m)
+	}
+	if nb == 0 || m == 0 {
+		return out
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	scan := func(lo, hi int) {
+		acc := make([]int64, nb)
+		var r *rng.Rand
+		if needStreams {
+			r = rng.NewRand(rng.NewXoshiro(0))
+		}
+		for j := lo; j < hi; j++ {
+			entries, mults := g.QueryEntries(j)
+			for b := range acc {
+				acc[b] = 0
+			}
+			for pos, e := range entries {
+				mu := int64(mults[pos])
+				for b, s := range sigmas {
+					if s.Get(int(e)) {
+						acc[b] += mu
+					}
+				}
+			}
+			for b := range acc {
+				v := acc[b]
+				if p != nil {
+					if needStreams {
+						// Reset the worker's stream to the cell's seed:
+						// identical to a freshly constructed generator.
+						r.Seed(rng.DeriveSeed(seeds[b], uint64(j)))
+					}
+					v = p.Perturb(v, r)
+				}
+				out[b][j] = v
 			}
 		}
 	}

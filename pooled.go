@@ -35,6 +35,7 @@ import (
 	"pooleddata/internal/engine"
 	"pooleddata/internal/graph"
 	"pooleddata/internal/mn"
+	"pooleddata/internal/noise"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/internal/thresholds"
@@ -211,6 +212,51 @@ func (s *Scheme) MeasureNoisy(signal []bool, sigma float64) []int64 {
 	return query.Execute(s.g, sv, query.Options{
 		Oracle: query.Noisy{Sigma: sigma}, Workers: s.workers, Seed: s.seed,
 	}).Y
+}
+
+// NoiseModel declares how a set of counts was (or should be) measured.
+// The zero value is the exact additive oracle. It is the public form of
+// the service's noise-model spec: the same fields travel on pooledd's
+// wire API as {"kind":"gaussian","sigma":0.5,"seed":7}.
+type NoiseModel struct {
+	// Kind is "exact" (or empty), "gaussian", or "threshold".
+	Kind string
+	// Sigma is the Gaussian standard deviation (gaussian models).
+	Sigma float64
+	// T is the threshold (threshold models); 0 means 1, negative values
+	// fail validation.
+	T int64
+	// Seed roots the per-signal noise streams: equal (model, signals)
+	// reproduce bit-identical noisy counts.
+	Seed uint64
+}
+
+// internal converts the public model to the engine-side spec. The raw
+// kind is preserved so validation can reject unknown kinds before
+// canonicalization defaults them.
+func (nm NoiseModel) internal() noise.Model {
+	return noise.Model{Kind: noise.Kind(nm.Kind), Sigma: nm.Sigma, T: nm.T, Seed: nm.Seed}
+}
+
+// Validate reports whether the model is well-formed.
+func (nm NoiseModel) Validate() error { return nm.internal().Validate() }
+
+// MeasureBatchNoisy simulates the batched measurement round under a
+// noise model: one pass over the pooling matrix computes every signal's
+// exact counts, then each signal's counts are perturbed with an
+// independent per-signal stream rooted at the model's seed. Row b equals
+// a single noisy measurement of signals[b] with seed nm.Seed⊕b-derived
+// streams, and two calls with equal models perturb identically.
+func (s *Scheme) MeasureBatchNoisy(signals [][]bool, nm NoiseModel) ([][]int64, error) {
+	m := nm.internal()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sigmas := s.batchVectors(signals)
+	if m.IsExact() {
+		return query.ExecuteBatch(s.g, sigmas, s.workers), nil
+	}
+	return query.ExecuteBatchNoisy(s.g, sigmas, s.workers, m, m.SignalSeeds(len(sigmas))), nil
 }
 
 // Reconstruct runs the MN-Algorithm on measured counts y and returns the
