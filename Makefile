@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream clean
 
 all: build vet test
 
@@ -33,6 +33,11 @@ bench:
 # sub-benchmark (the slow part).
 bench-noise:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkNoisyBatchDecode' -benchtime 1x .
+
+# The streaming subsystem's benchmark: B settled campaign jobs fanned
+# out to S concurrent event-stream subscribers.
+bench-stream:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkCampaignStreaming' -benchtime 1x ./internal/campaign
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,189 @@
+package pooled
+
+import (
+	"context"
+	"time"
+
+	"pooleddata/internal/campaign"
+)
+
+// This file is the public face of the campaign subsystem
+// (internal/campaign): asynchronous batch decodes whose per-job results
+// stream back as they settle. A campaign is the in-process form of what
+// cmd/pooledd serves over HTTP — POST /v1/campaigns plus the SSE stream
+// on /v1/campaigns/{id}/events — so a Go client embedding the engine
+// consumes settlements the same way a curl client does: incrementally,
+// exactly once, with a terminal event closing the stream.
+
+// Campaign admission errors, re-exported so callers can errors.Is
+// without reaching into internal packages.
+var (
+	// ErrTenantQuota means the submitting tenant's active-campaign or
+	// queued-job quota is exhausted; other tenants are unaffected.
+	ErrTenantQuota = campaign.ErrTenantQuota
+	// ErrTooManyCampaigns means the engine-wide active-campaign bound was
+	// hit.
+	ErrTooManyCampaigns = campaign.ErrTooManyCampaigns
+)
+
+// CampaignOptions configures StartCampaign.
+type CampaignOptions struct {
+	// Tenant attributes the campaign for per-tenant quota accounting and
+	// fair round-robin dispatch; empty means the shared "default" tenant.
+	Tenant string
+	// Noise declares how the batch was measured; the zero value means
+	// exact counts. The robust decoder for the model is selected
+	// server-side, per the noise policy.
+	Noise NoiseModel
+}
+
+// CampaignEvent is one entry of a campaign's settlement stream: a
+// per-job result, or the single terminal event (Done true) that closes
+// the channel.
+type CampaignEvent struct {
+	// Seq is the monotone, gapless event sequence number — a resume
+	// cursor for EventsSince-style consumers (the SSE event id).
+	Seq int64
+
+	// Done marks the terminal event; State carries the final campaign
+	// state ("done", "canceled", or "expired"). Result fields are unset.
+	Done  bool
+	State string
+
+	// Per-job settlement fields (Done false).
+	Index      int
+	Support    []int
+	Decoder    string
+	Residual   int64
+	Consistent bool
+	DecodeNS   int64
+	// Err is set for failed or canceled jobs.
+	Err string
+}
+
+// CampaignProgress is a point-in-time counter snapshot of a campaign.
+type CampaignProgress struct {
+	ID        string
+	Tenant    string
+	State     string
+	Total     int
+	Completed int
+	Failed    int
+	Canceled  int
+}
+
+// Terminal reports whether the campaign can no longer change.
+func (p CampaignProgress) Terminal() bool { return p.State != string(campaign.Running) }
+
+// Settled is the number of jobs that reached a terminal state.
+func (p CampaignProgress) Settled() int { return p.Completed + p.Failed + p.Canceled }
+
+// Campaign is a handle on one asynchronous batch decode. Safe for
+// concurrent use.
+type Campaign struct {
+	inner *campaign.Campaign
+}
+
+// StartCampaign admits ys as an asynchronous batch decode against the
+// scheme and returns immediately; results stream back through Events
+// (or poll with Wait). Each count vector becomes one decode job of
+// weight k. It fails when the owning shard's queue is saturated or the
+// tenant's quota is exhausted — the same admission control pooledd
+// turns into 429 responses.
+func (e *Engine) StartCampaign(s *Scheme, ys [][]int64, k int, opts CampaignOptions) (*Campaign, error) {
+	nm := opts.Noise.internal()
+	if err := nm.Validate(); err != nil {
+		return nil, err
+	}
+	cp, err := e.campaigns.Create(campaign.Request{
+		Scheme: s.engineScheme(), Batch: ys, K: k,
+		Tenant: opts.Tenant, Noise: nm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{inner: cp}, nil
+}
+
+// ID returns the campaign id.
+func (c *Campaign) ID() string { return c.inner.ID() }
+
+// Tenant returns the tenant the campaign is accounted under.
+func (c *Campaign) Tenant() string { return c.inner.Tenant() }
+
+// Total returns the number of submitted jobs.
+func (c *Campaign) Total() int { return c.inner.Total() }
+
+// Cancel stops the campaign: jobs not yet inside a decoder settle as
+// canceled; in-flight decodes run out and still count.
+func (c *Campaign) Cancel() { c.inner.Cancel() }
+
+// Progress snapshots the campaign counters.
+func (c *Campaign) Progress() CampaignProgress {
+	return fromCampaignProgress(c.inner.Progress())
+}
+
+// Wait long-polls the campaign: it returns as soon as the campaign is
+// terminal, or after d elapsed (or ctx fired), whichever comes first.
+func (c *Campaign) Wait(ctx context.Context, d time.Duration) CampaignProgress {
+	return fromCampaignProgress(c.inner.Wait(ctx, d))
+}
+
+// Events streams the campaign's settlements: every job's result is
+// delivered exactly once, in settlement order, followed by one terminal
+// event with Done true, after which the channel closes. The stream is
+// backed by the campaign's bounded event log, not a per-subscriber
+// queue, so any number of subscribers — started before, during, or
+// after the campaign ran — observe the identical sequence. Canceling
+// ctx closes the channel early without affecting the campaign.
+func (c *Campaign) Events(ctx context.Context) <-chan CampaignEvent {
+	out := make(chan CampaignEvent, 16)
+	go func() {
+		defer close(out)
+		var cursor int64
+		for {
+			evs, changed, sealed := c.inner.EventsSince(cursor)
+			for _, ev := range evs {
+				select {
+				case out <- fromCampaignEvent(ev):
+					cursor = ev.Seq
+				case <-ctx.Done():
+					return
+				}
+			}
+			if sealed {
+				return
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func fromCampaignEvent(ev campaign.Event) CampaignEvent {
+	out := CampaignEvent{Seq: ev.Seq}
+	if ev.Terminal() {
+		out.Done = true
+		out.State = string(ev.State)
+		return out
+	}
+	out.Index = ev.Job.Index
+	out.Support = ev.Job.Support
+	out.Decoder = ev.Job.Decoder
+	out.Residual = ev.Job.Residual
+	out.Consistent = ev.Job.Consistent
+	out.DecodeNS = ev.Job.DecodeNS
+	out.Err = ev.Job.Error
+	return out
+}
+
+func fromCampaignProgress(p campaign.Progress) CampaignProgress {
+	return CampaignProgress{
+		ID: p.ID, Tenant: p.Tenant, State: string(p.State), Total: p.Total,
+		Completed: p.Completed, Failed: p.Failed, Canceled: p.Canceled,
+	}
+}

@@ -1,0 +1,125 @@
+package pooled
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pooleddata/internal/rng"
+)
+
+// TestEngineStartCampaignEvents drives the public streaming facade: a
+// campaign's settlements arrive on the Events channel exactly once, in
+// monotone sequence order, followed by a single terminal event, and the
+// channel closes.
+func TestEngineStartCampaignEvents(t *testing.T) {
+	eng := NewEngine(EngineOptions{Shards: 2, CacheCapacity: 4, Workers: 2})
+	defer eng.Close()
+
+	const n, k, m, batch = 300, 5, 240, 8
+	scheme, err := eng.Scheme(n, m, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make([][]bool, batch)
+	for b := range signals {
+		sig := make([]bool, n)
+		for _, i := range rng.NewRandSeeded(uint64(10 + b)).Perm(n)[:k] {
+			sig[i] = true
+		}
+		signals[b] = sig
+	}
+	ys := eng.MeasureBatch(scheme, signals)
+
+	cp, err := eng.StartCampaign(scheme, ys, k, CampaignOptions{Tenant: "lab-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tenant() != "lab-a" || cp.Total() != batch {
+		t.Fatalf("campaign = %s tenant %q total %d", cp.ID(), cp.Tenant(), cp.Total())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	var lastSeq int64
+	seen := make(map[int]bool)
+	sawDone := false
+	for ev := range cp.Events(ctx) {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence went backwards: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Done {
+			if ev.State != "done" {
+				t.Fatalf("terminal state = %q", ev.State)
+			}
+			sawDone = true
+			continue
+		}
+		if sawDone {
+			t.Fatal("result event after the terminal event")
+		}
+		if seen[ev.Index] {
+			t.Fatalf("job %d delivered twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Err != "" || !ev.Consistent {
+			t.Fatalf("event = %+v", ev)
+		}
+		sup := make([]bool, n)
+		for _, i := range ev.Support {
+			sup[i] = true
+		}
+		for i := range sup {
+			if sup[i] != signals[ev.Index][i] {
+				t.Fatalf("job %d did not recover its signal", ev.Index)
+			}
+		}
+	}
+	if !sawDone || len(seen) != batch {
+		t.Fatalf("stream closed with %d results, done=%v", len(seen), sawDone)
+	}
+
+	// A late subscriber replays the identical sequence from the log.
+	replay := 0
+	for ev := range cp.Events(context.Background()) {
+		replay++
+		_ = ev
+	}
+	if replay != batch+1 {
+		t.Fatalf("replay subscriber saw %d events, want %d", replay, batch+1)
+	}
+
+	if p := cp.Progress(); !p.Terminal() || p.Completed != batch || p.Settled() != batch {
+		t.Fatalf("final progress = %+v", p)
+	}
+}
+
+// TestEngineStartCampaignQuota: the facade surfaces per-tenant quotas.
+func TestEngineStartCampaignQuota(t *testing.T) {
+	eng := NewEngine(EngineOptions{CacheCapacity: 4, Workers: 1, TenantMaxQueued: 2})
+	defer eng.Close()
+
+	const n, k, m = 120, 2, 90
+	scheme, err := eng.Scheme(n, m, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make([]bool, n)
+	sig[3], sig[40] = true, true
+	ys := eng.MeasureBatch(scheme, [][]bool{sig, sig, sig})
+
+	// A batch bigger than the whole quota is a plain validation error
+	// (never satisfiable), not the retryable quota rejection.
+	if _, err := eng.StartCampaign(scheme, ys, k, CampaignOptions{Tenant: "lab-a"}); err == nil || errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("oversized batch: err = %v, want a plain validation error", err)
+	}
+	cp, err := eng.StartCampaign(scheme, ys[:2], k, CampaignOptions{Tenant: "lab-a"})
+	if err != nil {
+		t.Fatalf("in-quota campaign rejected: %v", err)
+	}
+	if p := cp.Wait(context.Background(), 10*time.Second); p.Completed != 2 {
+		t.Fatalf("campaign did not finish: %+v", p)
+	}
+}

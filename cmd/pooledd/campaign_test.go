@@ -28,7 +28,8 @@ func newTestServerWith(t testing.TB, cfg engine.ClusterConfig) (*httptest.Server
 	t.Helper()
 	cluster := engine.NewCluster(cfg)
 	t.Cleanup(cluster.Close)
-	srv := newServer(cluster)
+	srv := newServer(cluster, campaign.Config{})
+	t.Cleanup(srv.campaigns.Close)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, srv, cluster

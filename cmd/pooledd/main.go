@@ -28,17 +28,29 @@
 //	                               429 + Retry-After when the owning shard is saturated
 //	POST   /v1/campaigns           {"scheme":"s1","k":16,"batch":[[...],...]} → 202 + id
 //	                               + optional campaign-level "noise" object applied to
-//	                               every job
+//	                               every job, and an optional "tenant" for per-tenant
+//	                               quotas / fair dispatch (429 + Retry-After when the
+//	                               tenant's quota is exhausted)
 //	GET    /v1/campaigns           all retained campaigns
 //	GET    /v1/campaigns/{id}      progress + completed results; ?wait=5s long-polls
-//	DELETE /v1/campaigns/{id}      cancel (queued jobs settle as canceled)
+//	GET    /v1/campaigns/{id}/events  SSE stream of per-job settlements as they land,
+//	                               resumable with Last-Event-ID (or ?after=N); one
+//	                               terminal "done" event closes the stream; slow
+//	                               clients are evicted rather than buffered
+//	DELETE /v1/campaigns/{id}      cancel (queued jobs settle as canceled; streams
+//	                               still receive every settlement plus the terminal
+//	                               event)
 //	GET    /v1/stats               fleet aggregate + per-shard breakdown (queue depth,
 //	                               cache hits, rejected jobs, decode-latency histograms,
-//	                               jobs_by_noise per-model counters, campaign gauges)
+//	                               jobs_by_noise per-model counters, campaign gauges,
+//	                               per-tenant gauges)
 //
 // -snapshot persists the registered parametric scheme specs as JSON on
 // graceful shutdown (SIGINT/SIGTERM) and rebuilds them into the shard
-// caches on the next boot.
+// caches on the next boot. -gc-interval runs campaign GC on a ticker so
+// an idle server releases finished campaigns (and their event logs)
+// without waiting for the next request. -tenant-max-active and
+// -tenant-max-queued set the per-tenant quotas.
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 	"syscall"
 	"time"
 
+	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 )
 
@@ -65,6 +78,9 @@ func main() {
 	maxBody := flag.Int64("max-body", 256<<20, "max request body bytes")
 	designs := flag.String("designs", "", "comma-separated labio design CSVs to preload at boot")
 	snapshot := flag.String("snapshot", "", "spec snapshot file: cached scheme specs written on shutdown, rebuilt on boot")
+	gcInterval := flag.Duration("gc-interval", time.Minute, "campaign GC ticker period (0 disables the ticker; request-path GC still runs)")
+	tenantMaxActive := flag.Int("tenant-max-active", 0, "max active campaigns per tenant (0: unlimited)")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "max unsettled campaign jobs per tenant (0: unlimited)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -80,7 +96,10 @@ func main() {
 	})
 	defer cluster.Close()
 
-	srv := newServer(cluster)
+	srv := newServer(cluster, campaign.Config{
+		TenantMaxActive: *tenantMaxActive,
+		TenantMaxQueued: *tenantMaxQueued,
+	})
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
 	if *designs != "" {
@@ -105,6 +124,20 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Campaign GC used to run only opportunistically on request paths, so
+	// an idle server retained finished campaigns (and now their event
+	// logs) until the next submission. The ticker makes retention a real
+	// upper bound; it also reaps stale canceled campaigns and wakes their
+	// parked long-pollers with a terminal progress.
+	if *gcInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*gcInterval)
+			defer tick.Stop()
+			for range tick.C {
+				srv.campaigns.GC(time.Now())
+			}
+		}()
+	}
 	// SIGINT/SIGTERM drain in-flight requests, then the snapshot (if
 	// configured) persists the cached spec keys for the next boot.
 	done := make(chan struct{})
@@ -125,6 +158,9 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	// Stop the campaign dispatcher: jobs still awaiting dispatch settle
+	// with a store-closed error instead of dangling.
+	srv.campaigns.Close()
 	if *snapshot != "" {
 		if err := writeSnapshot(srv, *snapshot); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)

@@ -36,6 +36,12 @@ type server struct {
 	maxBody    int64
 	maxWait    time.Duration
 
+	// sseHeartbeat is the idle-keepalive interval of campaign event
+	// streams; sseWriteTimeout is the per-write slow-client eviction
+	// deadline.
+	sseHeartbeat    time.Duration
+	sseWriteTimeout time.Duration
+
 	mu      sync.Mutex
 	schemes map[string]*schemeEntry
 	order   []string // registration order, oldest first
@@ -61,16 +67,18 @@ type schemeEntry struct {
 	scheme *engine.Scheme
 }
 
-func newServer(cluster *engine.Cluster) *server {
+func newServer(cluster *engine.Cluster, ccfg campaign.Config) *server {
 	return &server{
-		cluster:    cluster,
-		campaigns:  campaign.NewStore(cluster, campaign.Config{}),
-		start:      time.Now(),
-		maxSchemes: 64,
-		maxBody:    256 << 20,
-		maxWait:    30 * time.Second,
-		schemes:    make(map[string]*schemeEntry),
-		bySpec:     make(map[engine.Spec]string),
+		cluster:         cluster,
+		campaigns:       campaign.NewStore(cluster, ccfg),
+		start:           time.Now(),
+		maxSchemes:      64,
+		maxBody:         256 << 20,
+		maxWait:         30 * time.Second,
+		sseHeartbeat:    15 * time.Second,
+		sseWriteTimeout: 10 * time.Second,
+		schemes:         make(map[string]*schemeEntry),
+		bySpec:          make(map[engine.Spec]string),
 	}
 }
 
@@ -83,6 +91,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleCreateCampaign)
 	mux.HandleFunc("GET /v1/campaigns", s.handleListCampaigns)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGetCampaign)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	// Catch-all so unknown routes return a JSON body like every other
@@ -420,20 +429,24 @@ func decodeStatus(err error) int {
 
 // campaignRequest is the JSON body of POST /v1/campaigns. Noise is the
 // campaign-level measurement model, applied to every job of the batch.
+// Tenant attributes the campaign for per-tenant quotas, fair dispatch,
+// and the /v1/stats tenant gauges; empty means the "default" tenant.
 type campaignRequest struct {
 	Scheme  string       `json:"scheme"`
 	K       int          `json:"k"`
+	Tenant  string       `json:"tenant,omitempty"`
 	Decoder string       `json:"decoder,omitempty"`
 	Noise   *noise.Model `json:"noise,omitempty"`
 	Batch   [][]int64    `json:"batch"`
 }
 
-// campaignCreated is the 202 body: enough to poll.
+// campaignCreated is the 202 body: enough to poll or stream.
 type campaignCreated struct {
-	ID    string       `json:"id"`
-	Total int          `json:"total"`
-	State string       `json:"state"`
-	Noise *noise.Model `json:"noise,omitempty"`
+	ID     string       `json:"id"`
+	Tenant string       `json:"tenant,omitempty"`
+	Total  int          `json:"total"`
+	State  string       `json:"state"`
+	Noise  *noise.Model `json:"noise,omitempty"`
 }
 
 // handleCreateCampaign admits an async batch decode and returns its id
@@ -458,17 +471,23 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	cp, err := s.campaigns.Create(campaign.Request{Scheme: ent.scheme, Batch: req.Batch, K: req.K, Noise: nm, Dec: dec})
+	cp, err := s.campaigns.Create(campaign.Request{
+		Scheme: ent.scheme, Batch: req.Batch, K: req.K,
+		Tenant: req.Tenant, Noise: nm, Dec: dec,
+	})
 	switch {
 	case errors.Is(err, engine.ErrSaturated):
 		rejectSaturated(w, s.cluster.Owner(ent.scheme))
-	case errors.Is(err, campaign.ErrTooManyCampaigns):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, campaign.ErrTooManyCampaigns), errors.Is(err, campaign.ErrTenantQuota):
+		// Same backlog-derived estimate as the saturated /v1/decode path:
+		// the client should come back once the owning shard has drained,
+		// not on a hard-coded one-second clock.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cluster.Owner(ent.scheme))))
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
-		created := campaignCreated{ID: cp.ID(), Total: cp.Total(), State: string(campaign.Running)}
+		created := campaignCreated{ID: cp.ID(), Tenant: cp.Tenant(), Total: cp.Total(), State: string(campaign.Running)}
 		if !nm.IsExact() {
 			created.Noise = &nm
 		}
@@ -532,14 +551,15 @@ type campaignGauges struct {
 // compatibility, the per-shard breakdown, and server-level fields.
 type statsResponse struct {
 	engine.Stats
-	Shards            []engine.ShardStats `json:"shards"`
-	Schemes           int                 `json:"schemes"`
-	Campaigns         campaignGauges      `json:"campaigns"`
-	CampaignsActive   int                 `json:"campaigns_active"`
-	CampaignsFinished int                 `json:"campaigns_finished"`
-	UptimeNS          int64               `json:"uptime_ns"`
-	AvgQueue          float64             `json:"avg_queue_ms"`
-	AvgDec            float64             `json:"avg_decode_ms"`
+	Shards            []engine.ShardStats             `json:"shards"`
+	Schemes           int                             `json:"schemes"`
+	Campaigns         campaignGauges                  `json:"campaigns"`
+	Tenants           map[string]campaign.TenantStats `json:"tenants"`
+	CampaignsActive   int                             `json:"campaigns_active"`
+	CampaignsFinished int                             `json:"campaigns_finished"`
+	UptimeNS          int64                           `json:"uptime_ns"`
+	AvgQueue          float64                         `json:"avg_queue_ms"`
+	AvgDec            float64                         `json:"avg_decode_ms"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -555,6 +575,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Campaigns: campaignGauges{
 			Active: active, Finished: finished, Retained: active + finished,
 		},
+		// Always a map, even empty, so dashboards can key into it before
+		// the first tenant submits.
+		Tenants:         s.campaigns.Tenants(),
 		CampaignsActive: active, CampaignsFinished: finished,
 		UptimeNS: int64(time.Since(s.start)),
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pooleddata/internal/bitvec"
+	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
 	"pooleddata/internal/noise"
@@ -23,7 +24,9 @@ func newTestServer(t *testing.T) (*httptest.Server, *engine.Cluster) {
 		Shard:  engine.Config{CacheCapacity: 4, Workers: 2},
 	})
 	t.Cleanup(cluster.Close)
-	ts := httptest.NewServer(newServer(cluster).handler())
+	srv := newServer(cluster, campaign.Config{})
+	t.Cleanup(srv.campaigns.Close)
+	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return ts, cluster
 }

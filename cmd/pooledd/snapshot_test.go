@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
 )
@@ -27,7 +28,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	// First life: register two parametric schemes, one ad-hoc upload (to
 	// be skipped), and write the snapshot.
 	c1 := snapCluster(t)
-	srv1 := newServer(c1)
+	srv1 := newServer(c1, campaign.Config{})
+	t.Cleanup(srv1.campaigns.Close)
 	ts1 := httptest.NewServer(srv1.handler())
 	defer ts1.Close()
 
@@ -53,7 +55,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	// Second life: a fresh cluster rebuilds the snapshot's schemes into
 	// its caches and the registry.
 	c2 := snapCluster(t)
-	srv2 := newServer(c2)
+	srv2 := newServer(c2, campaign.Config{})
+	t.Cleanup(srv2.campaigns.Close)
 	var log bytes.Buffer
 	if err := loadSnapshot(c2, srv2, path, &log); err != nil {
 		t.Fatal(err)
@@ -108,7 +111,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestLoadSnapshotMissingAndCorrupt(t *testing.T) {
 	c := snapCluster(t)
-	srv := newServer(c)
+	srv := newServer(c, campaign.Config{})
+	t.Cleanup(srv.campaigns.Close)
 	var log bytes.Buffer
 
 	// Missing file: first boot, not an error.

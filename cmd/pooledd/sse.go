@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pooleddata/internal/campaign"
+)
+
+// Server-sent-events streaming of campaign results: GET
+// /v1/campaigns/{id}/events replays the campaign's settlement log from
+// the client's cursor and then follows it live, one `result` event per
+// settled job and a single `done` event when the campaign is terminal.
+// The campaign's bounded log is the only buffer — a subscriber is just
+// a cursor — so a slow client cannot make the server queue events for
+// it: a write that cannot complete within the write timeout evicts the
+// client (it reconnects with Last-Event-ID and replays what it
+// missed). Heartbeat comments keep idle connections verified and
+// intermediaries from timing the stream out.
+
+// parseCursor resolves the client's resume cursor: the standard SSE
+// Last-Event-ID header (set automatically by EventSource on reconnect)
+// or, for curl sessions, an ?after= query parameter. The header wins.
+func parseCursor(r *http.Request) (int64, error) {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	seq, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, fmt.Errorf("bad event cursor %q", raw)
+	}
+	return seq, nil
+}
+
+// sseDone is the wire payload of the terminal `done` event.
+type sseDone struct {
+	State     campaign.State `json:"state"`
+	Total     int            `json:"total"`
+	Completed int            `json:"completed"`
+	Failed    int            `json:"failed"`
+	Canceled  int            `json:"canceled"`
+}
+
+// eventData marshals the event's data line. json.Marshal output never
+// contains newlines, so one data: line is always enough.
+func eventData(ev campaign.Event) ([]byte, error) {
+	if ev.Terminal() {
+		return json.Marshal(sseDone{
+			State: ev.State, Total: ev.Total,
+			Completed: ev.Completed, Failed: ev.Failed, Canceled: ev.Canceled,
+		})
+	}
+	return json.Marshal(ev.Job)
+}
+
+// handleCampaignEvents streams a campaign's settlements as SSE.
+func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	cp, ok := s.campaigns.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	cursor, err := parseCursor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A cursor past the log is a stale or corrupt resume id: reject it
+	// rather than serving a stream that would hang delivering nothing
+	// and then close without a terminal event. A cursor exactly at the
+	// log length is a caught-up subscriber and streams from live.
+	if have := cp.Events(); cursor > have {
+		httpError(w, http.StatusBadRequest, "event cursor %d beyond log (latest %d)", cursor, have)
+		return
+	}
+	// One fetch serves both the caught-up check and the stream loop's
+	// first iteration (the log can be large; don't copy it twice).
+	evs, changed, sealed := cp.EventsSince(cursor)
+	// A caught-up subscriber reconnecting after the terminal event gets
+	// 204: the SSE contract for "this stream is over, stop reconnecting"
+	// — EventSource clients treat a completed 200 stream as a cue to
+	// reconnect and would otherwise loop until GC 404s the campaign.
+	if sealed && len(evs) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	rc := http.NewResponseController(w)
+	// The per-write deadline must not outlive this handler: the server
+	// has no WriteTimeout to re-arm it, so a leftover deadline would
+	// poison the next request on a keep-alive connection.
+	defer rc.SetWriteDeadline(time.Time{})
+	// writeChunk pushes bytes with the slow-client deadline armed; a
+	// deadline miss (or any write error) evicts the subscriber. The
+	// deadline call itself is best-effort: test recorders don't support
+	// deadlines, real server connections do.
+	writeChunk := func(p []byte) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout))
+		if _, err := w.Write(p); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	heartbeat := time.NewTicker(s.sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		for _, ev := range evs {
+			data, err := eventData(ev)
+			if err != nil {
+				return
+			}
+			frame := fmt.Sprintf("id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if !writeChunk([]byte(frame)) {
+				return // slow or gone client: evicted, resumes via Last-Event-ID
+			}
+			cursor = ev.Seq
+		}
+		if sealed {
+			return // terminal event delivered; the stream is complete
+		}
+		select {
+		case <-changed:
+		case <-heartbeat.C:
+			if !writeChunk([]byte(": heartbeat\n\n")) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+		evs, changed, sealed = cp.EventsSince(cursor)
+	}
+}

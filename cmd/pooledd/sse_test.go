@@ -1,0 +1,460 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/campaign"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/rng"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id    int64
+	event string
+	data  string
+}
+
+// readSSE parses events off an open stream until max events have been
+// read or a terminal `done` event arrives (whichever first). Comment
+// lines (heartbeats) are counted separately.
+func readSSE(t testing.TB, r io.Reader, max int) (evs []sseEvent, heartbeats int) {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur sseEvent
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				evs = append(evs, cur)
+				if cur.event == "done" || len(evs) >= max {
+					return evs, heartbeats
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ":"):
+			heartbeats++
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q", line)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	return evs, heartbeats
+}
+
+// streamEvents opens the campaign's SSE endpoint from the given cursor.
+func streamEvents(t testing.TB, url, id string, cursor int64) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/v1/campaigns/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(cursor, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestStreamingCampaignE2E is the PR's acceptance path: a
+// gaussian-noise campaign submitted with a tenant streams every settled
+// job exactly once over SSE — including across a mid-stream disconnect
+// resumed with Last-Event-ID — while the tenant's own quota rejects its
+// second campaign (429 + backlog-derived Retry-After) without blocking
+// another tenant, and per-tenant gauges surface in /v1/stats.
+func TestStreamingCampaignE2E(t *testing.T) {
+	cluster := engine.NewCluster(engine.ClusterConfig{
+		Shards: 2,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 2, QueueDepth: 64},
+	})
+	t.Cleanup(cluster.Close)
+	srv := newServer(cluster, campaign.Config{TenantMaxActive: 1})
+	t.Cleanup(srv.campaigns.Close)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	const n, k, m, batch = 400, 6, 320, 12
+	var sch schemeEntry
+	postJSON(t, ts.URL+"/v1/schemes", schemeRequest{N: n, M: m, Seed: 11}, &sch)
+	es, err := cluster.Scheme(nil, n, m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: 77}
+	signals := make([]*bitvec.Vector, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(uint64(90+b)))
+	}
+	ys := cluster.MeasureBatch(es, signals, nm)
+
+	// Wedge the owning shard's workers so the first campaign stays
+	// active while admission decisions are made.
+	shard := cluster.Owner(es)
+	release := make(chan struct{})
+	var wedges []*engine.Future
+	for i := 0; i < shard.Workers(); i++ {
+		fut, err := cluster.Submit(context.Background(), engine.Job{Scheme: es, Y: ys[0], K: k, Dec: blockDecoder{release}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wedges = append(wedges, fut)
+	}
+
+	var created campaignCreated
+	resp := postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{
+		Scheme: sch.ID, K: k, Batch: ys, Tenant: "lab-a", Noise: &nm,
+	}, &created)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create campaign: status %d", resp.StatusCode)
+	}
+	if created.Tenant != "lab-a" {
+		t.Fatalf("202 body tenant = %q", created.Tenant)
+	}
+
+	// lab-a has saturated its own quota: its second campaign is turned
+	// away with a Retry-After estimate, not a hard-coded second.
+	resp = postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys, Tenant: "lab-a"}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota campaign: status %d", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("over-quota Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+	// A different tenant is admitted while lab-a is at quota.
+	var other campaignCreated
+	resp = postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys[:2], Tenant: "lab-b"}, &other)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other tenant campaign: status %d", resp.StatusCode)
+	}
+
+	// Per-tenant gauges while both campaigns are active.
+	var st statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if g := st.Tenants["lab-a"]; g.Active != 1 {
+		t.Fatalf("lab-a gauges = %+v", g)
+	}
+	if g := st.Tenants["lab-b"]; g.Active != 1 {
+		t.Fatalf("lab-b gauges = %+v", g)
+	}
+
+	// Stream, disconnect mid-campaign, resume with Last-Event-ID.
+	sresp := streamEvents(t, ts.URL, created.ID, 0)
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+	close(release)
+	for _, fut := range wedges {
+		if _, err := fut.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, _ := readSSE(t, sresp.Body, 5)
+	sresp.Body.Close() // drop the connection mid-stream
+	if len(first) == 0 {
+		t.Fatal("no events before disconnect")
+	}
+	cursor := first[len(first)-1].id
+
+	sresp = streamEvents(t, ts.URL, created.ID, cursor)
+	defer sresp.Body.Close()
+	rest, _ := readSSE(t, sresp.Body, batch+1)
+
+	// Exactly once across both connections: every job index appears one
+	// time, ids are gapless, and the stream ends with a done event.
+	all := append(first, rest...)
+	last := all[len(all)-1]
+	if last.event != "done" {
+		t.Fatalf("stream ended with %+v, want done", last)
+	}
+	var fin struct {
+		State     string `json:"state"`
+		Completed int    `json:"completed"`
+		Total     int    `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "done" || fin.Completed != batch || fin.Total != batch {
+		t.Fatalf("terminal payload = %+v", fin)
+	}
+	results := all[:len(all)-1]
+	if len(results) != batch {
+		t.Fatalf("streamed %d results, want %d", len(results), batch)
+	}
+	var ids []int64
+	seen := make(map[int]bool)
+	for _, ev := range results {
+		if ev.event != "result" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		var jr campaign.JobResult
+		if err := json.Unmarshal([]byte(ev.data), &jr); err != nil {
+			t.Fatal(err)
+		}
+		if seen[jr.Index] {
+			t.Fatalf("job %d streamed twice", jr.Index)
+		}
+		seen[jr.Index] = true
+		// Gaussian σ=0.5 selects the refined decoder server-side.
+		if jr.Decoder != "mn-refined" {
+			t.Fatalf("job %d decoder %q, want mn-refined", jr.Index, jr.Decoder)
+		}
+		ids = append(ids, ev.id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Fatalf("event ids not gapless: %v", ids)
+		}
+	}
+
+	// After everything drains, the finished campaigns move to the
+	// finished gauges.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/stats", &st)
+		if st.Tenants["lab-a"].Finished == 1 && st.Tenants["lab-b"].Finished == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant gauges never settled: %+v", st.Tenants)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCampaignSSECancelTerminal(t *testing.T) {
+	ts, _, cluster := newTestServerWith(t, engine.ClusterConfig{
+		Shards: 1,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 1, QueueDepth: 16},
+	})
+	const n, k, m, batch = 150, 3, 110, 5
+	sch, _, ys := measuredBatch(t, ts.URL, cluster, n, k, m, batch, 51)
+
+	es, err := cluster.Scheme(nil, n, m, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	wedge, err := cluster.Submit(context.Background(), engine.Job{Scheme: es, Y: ys[0], K: k, Dec: blockDecoder{release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var created campaignCreated
+	postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys}, &created)
+	sresp := streamEvents(t, ts.URL, created.ID, 0)
+	defer sresp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+created.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	close(release)
+	if _, err := wedge.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream still delivers every settlement, then closes with a
+	// terminal event carrying the canceled state.
+	evs, _ := readSSE(t, sresp.Body, batch+1)
+	last := evs[len(evs)-1]
+	if last.event != "done" {
+		t.Fatalf("stream ended with %+v, want done", last)
+	}
+	var fin struct {
+		State    string `json:"state"`
+		Canceled int    `json:"canceled"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != "canceled" || fin.Canceled == 0 {
+		t.Fatalf("terminal payload = %+v", fin)
+	}
+	if len(evs) != batch+1 {
+		t.Fatalf("stream delivered %d events, want %d", len(evs), batch+1)
+	}
+}
+
+// stallWriter is a ResponseWriter whose writes start failing after the
+// first `allow` calls — the shape of a client whose socket stopped
+// draining and hit the write deadline.
+type stallWriter struct {
+	header http.Header
+	allow  int
+	writes int
+}
+
+func (w *stallWriter) Header() http.Header { return w.header }
+func (w *stallWriter) WriteHeader(int)     {}
+func (w *stallWriter) Flush()              {}
+func (w *stallWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.allow {
+		return 0, errors.New("write deadline exceeded (simulated slow client)")
+	}
+	return len(p), nil
+}
+
+// TestCampaignSSESlowClientEvicted: a subscriber whose writes fail is
+// evicted — the handler returns instead of buffering events for it or
+// spinning. The campaign itself is unaffected.
+func TestCampaignSSESlowClientEvicted(t *testing.T) {
+	ts, srv, cluster := newTestServerWith(t, engine.ClusterConfig{
+		Shards: 1,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 2},
+	})
+	srv.sseWriteTimeout = 50 * time.Millisecond
+	const n, k, m, batch = 150, 3, 110, 6
+	sch, _, ys := measuredBatch(t, ts.URL, cluster, n, k, m, batch, 53)
+
+	var created campaignCreated
+	postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys}, &created)
+	cp, ok := srv.campaigns.Get(created.ID)
+	if !ok {
+		t.Fatal("campaign not retained")
+	}
+	cp.Wait(context.Background(), 10*time.Second) // events exist before the stream opens
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/campaigns/"+created.ID+"/events", nil)
+	req.SetPathValue("id", created.ID)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.handleCampaignEvents(&stallWriter{header: make(http.Header), allow: 2}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler kept serving a client whose writes fail")
+	}
+
+	// A healthy subscriber still replays the full log afterwards.
+	sresp := streamEvents(t, ts.URL, created.ID, 0)
+	defer sresp.Body.Close()
+	if evs, _ := readSSE(t, sresp.Body, batch+1); len(evs) != batch+1 {
+		t.Fatalf("healthy subscriber got %d events, want %d", len(evs), batch+1)
+	}
+}
+
+func TestCampaignSSEErrors(t *testing.T) {
+	ts, _, cluster := newTestServerWith(t, engine.ClusterConfig{
+		Shards: 1,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 1},
+	})
+	const n, k, m = 150, 3, 110
+	sch, _, ys := measuredBatch(t, ts.URL, cluster, n, k, m, 1, 57)
+
+	if resp := getJSON(t, ts.URL+"/v1/campaigns/nope/events", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign stream: status %d", resp.StatusCode)
+	}
+
+	var created campaignCreated
+	postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys}, &created)
+	if resp := getJSON(t, ts.URL+"/v1/campaigns/"+created.ID+"/events?after=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad cursor: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/campaigns/"+created.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "-4")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative cursor: status %d", resp.StatusCode)
+	}
+	// A cursor beyond the log is a stale resume id, not a valid stream.
+	if resp := getJSON(t, ts.URL+"/v1/campaigns/"+created.ID+"/events?after=999", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range cursor: status %d", resp.StatusCode)
+	}
+
+	// A caught-up reconnect after the terminal event gets 204 so
+	// EventSource clients stop their reconnect loop.
+	sresp := streamEvents(t, ts.URL, created.ID, 0)
+	evs, _ := readSSE(t, sresp.Body, 3)
+	sresp.Body.Close()
+	if last := evs[len(evs)-1]; last.event != "done" {
+		t.Fatalf("stream did not finish: %+v", evs)
+	}
+	done := evs[len(evs)-1].id
+	again := streamEvents(t, ts.URL, created.ID, done)
+	again.Body.Close()
+	if again.StatusCode != http.StatusNoContent {
+		t.Fatalf("caught-up reconnect: status %d, want 204", again.StatusCode)
+	}
+}
+
+// TestCampaignSSEHeartbeat: an idle stream (wedged campaign) receives
+// heartbeat comments that keep the connection verified.
+func TestCampaignSSEHeartbeat(t *testing.T) {
+	ts, srv, cluster := newTestServerWith(t, engine.ClusterConfig{
+		Shards: 1,
+		Shard:  engine.Config{CacheCapacity: 4, Workers: 1, QueueDepth: 16},
+	})
+	srv.sseHeartbeat = 20 * time.Millisecond
+	const n, k, m, batch = 150, 3, 110, 2
+	sch, _, ys := measuredBatch(t, ts.URL, cluster, n, k, m, batch, 59)
+
+	es, err := cluster.Scheme(nil, n, m, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	wedge, err := cluster.Submit(context.Background(), engine.Job{Scheme: es, Y: ys[0], K: k, Dec: blockDecoder{release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created campaignCreated
+	postJSON(t, ts.URL+"/v1/campaigns", campaignRequest{Scheme: sch.ID, K: k, Batch: ys}, &created)
+
+	sresp := streamEvents(t, ts.URL, created.ID, 0)
+	defer sresp.Body.Close()
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(release)
+	}()
+	evs, heartbeats := readSSE(t, sresp.Body, batch+1)
+	if _, err := wedge.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if heartbeats == 0 {
+		t.Fatal("idle stream received no heartbeats")
+	}
+	if evs[len(evs)-1].event != "done" {
+		t.Fatalf("stream did not finish: %+v", evs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/noise"
 )
@@ -33,6 +34,12 @@ type EngineOptions struct {
 	// QueueDepth bounds each shard's pending decode queue; 0 means
 	// 4·Workers.
 	QueueDepth int
+	// TenantMaxActive bounds concurrently unfinished campaigns per
+	// tenant (StartCampaign); 0 means unlimited.
+	TenantMaxActive int
+	// TenantMaxQueued bounds unsettled campaign jobs per tenant; 0 means
+	// unlimited.
+	TenantMaxQueued int
 }
 
 // EngineStats is a snapshot of an Engine's counters.
@@ -127,23 +134,35 @@ type DecodeResult struct {
 // hash. Safe for concurrent use; release the workers with Close when
 // done.
 type Engine struct {
-	inner *engine.Cluster
+	inner     *engine.Cluster
+	campaigns *campaign.Store
 }
 
 // NewEngine starts an engine cluster.
 func NewEngine(opts EngineOptions) *Engine {
-	return &Engine{inner: engine.NewCluster(engine.ClusterConfig{
+	inner := engine.NewCluster(engine.ClusterConfig{
 		Shards: opts.Shards,
 		Shard: engine.Config{
 			CacheCapacity: opts.CacheCapacity,
 			Workers:       opts.Workers,
 			QueueDepth:    opts.QueueDepth,
 		},
-	})}
+	})
+	return &Engine{
+		inner: inner,
+		campaigns: campaign.NewStore(inner, campaign.Config{
+			TenantMaxActive: opts.TenantMaxActive,
+			TenantMaxQueued: opts.TenantMaxQueued,
+		}),
+	}
 }
 
-// Close drains every shard's decode queue and stops the workers.
-func (e *Engine) Close() { e.inner.Close() }
+// Close stops the campaign dispatcher, drains every shard's decode
+// queue, and stops the workers.
+func (e *Engine) Close() {
+	e.campaigns.Close()
+	e.inner.Close()
+}
 
 // Stats returns a snapshot of the cluster counters: the fleet-wide
 // aggregate plus the per-shard breakdown.

@@ -3,12 +3,23 @@
 // vectors decoded against one cached scheme through the engine cluster.
 // Submission returns immediately; jobs fan out to the scheme's owning
 // shard with per-job completion callbacks, progress counters update as
-// jobs settle, and clients long-poll (or cancel) the campaign by id.
+// jobs settle, and clients long-poll, stream, or cancel the campaign by
+// id.
+//
+// Every campaign keeps a bounded, monotone event log of its per-job
+// settlements (at most Total+1 entries: one per job plus one terminal
+// event), so results can be streamed incrementally and resumed from any
+// cursor — the SSE form pooledd serves on /v1/campaigns/{id}/events.
+// Campaigns belong to tenants: jobs are dispatched to the cluster in
+// fair round-robin order across tenants rather than FIFO across
+// campaigns, and per-tenant quotas bound active campaigns and queued
+// jobs so one heavy tenant cannot monopolize admission.
 //
 // This is the service form of the paper's operational premise: the
 // pooled measurement round is the expensive step, so a lab submits a
 // whole plate of count vectors at once and collects reconstructions as
-// the cluster drains them.
+// the cluster drains them — per-item recovered supports, not a terminal
+// batch.
 package campaign
 
 import (
@@ -24,16 +35,28 @@ import (
 	"pooleddata/internal/noise"
 )
 
+// DefaultTenant is the tenant campaigns without an explicit tenant are
+// accounted under.
+const DefaultTenant = "default"
+
 // Config sizes a Store.
 type Config struct {
 	// MaxActive bounds concurrently unfinished campaigns; 0 means 64.
 	MaxActive int
 	// Retention is how long finished campaigns stay queryable before GC;
-	// 0 means 10 minutes.
+	// 0 means 10 minutes. Canceled campaigns whose in-flight jobs never
+	// settle (a wedged decoder) are reaped on the same clock, counted
+	// from cancellation.
 	Retention time.Duration
 	// MaxFinished bounds retained finished campaigns regardless of age;
 	// 0 means 256.
 	MaxFinished int
+	// TenantMaxActive bounds concurrently unfinished campaigns per
+	// tenant; 0 means no per-tenant bound (MaxActive still applies).
+	TenantMaxActive int
+	// TenantMaxQueued bounds unsettled jobs per tenant — jobs admitted
+	// but not yet completed, failed, or canceled; 0 means unbounded.
+	TenantMaxQueued int
 }
 
 func (c Config) maxActive() int {
@@ -68,6 +91,10 @@ const (
 	// Canceled means Cancel was called; jobs settle as canceled unless a
 	// worker had already started (those still complete).
 	Canceled State = "canceled"
+	// Expired means the Store reaped the campaign before every job
+	// settled (retention GC of a stale canceled campaign): waiters and
+	// streams observe it as terminal instead of burning their timeouts.
+	Expired State = "expired"
 )
 
 // JobResult is one settled decode job of a campaign.
@@ -93,12 +120,14 @@ type JobResult struct {
 // and Canceled are monotone: they only grow until their sum reaches
 // Total.
 type Progress struct {
-	ID        string `json:"id"`
-	State     State  `json:"state"`
-	Total     int    `json:"total"`
-	Completed int    `json:"completed"`
-	Failed    int    `json:"failed"`
-	Canceled  int    `json:"canceled"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	State  State  `json:"state"`
+	Total  int    `json:"total"`
+
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
 	// Noise is the campaign's canonical noise model, present when the
 	// campaign was submitted with a non-exact model.
 	Noise *noise.Model `json:"noise,omitempty"`
@@ -116,31 +145,51 @@ func (p Progress) Terminal() bool { return p.State != Running }
 // concurrent use.
 type Campaign struct {
 	id     string
+	tenant string
 	total  int
 	noise  noise.Model // canonical; zero means exact
+	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu           sync.Mutex
-	canceledFlag bool
+	// Store hooks, invoked without mu held: onSettled after every job
+	// settles (tenant accounting), onCancel after Cancel (purging the
+	// campaign's undispatched jobs from the tenant queue).
+	onSettled func()
+	onCancel  func()
+
+	mu            sync.Mutex
+	canceledFlag  bool
+	expiredFlag   bool
+	quotaReleased bool // expiry already returned the unsettled jobs' quota
 	completed    int
 	failed       int
 	canceledJobs int
 	results      []JobResult
+	events       []Event       // monotone settlement log; ≤ total+1 entries
+	sealed       bool          // terminal event appended, log closed
 	changed      chan struct{} // closed and replaced on every update
 	finished     time.Time     // set when the last job settles
+	canceledAt   time.Time     // set on the first Cancel
 }
 
 // ID returns the campaign id.
 func (cp *Campaign) ID() string { return cp.id }
 
+// Tenant returns the tenant the campaign is accounted under.
+func (cp *Campaign) Tenant() string { return cp.tenant }
+
 // Total returns the number of submitted jobs.
 func (cp *Campaign) Total() int { return cp.total }
 
+func (cp *Campaign) settledLocked() int { return cp.completed + cp.failed + cp.canceledJobs }
+
 func (cp *Campaign) stateLocked() State {
 	switch {
+	case cp.expiredFlag:
+		return Expired
 	case cp.canceledFlag:
 		return Canceled
-	case cp.completed+cp.failed+cp.canceledJobs == cp.total:
+	case cp.settledLocked() == cp.total:
 		return Done
 	default:
 		return Running
@@ -149,7 +198,7 @@ func (cp *Campaign) stateLocked() State {
 
 func (cp *Campaign) progressLocked() Progress {
 	p := Progress{
-		ID: cp.id, State: cp.stateLocked(), Total: cp.total,
+		ID: cp.id, Tenant: cp.tenant, State: cp.stateLocked(), Total: cp.total,
 		Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
 		Results: append([]JobResult(nil), cp.results...),
 	}
@@ -168,14 +217,15 @@ func (cp *Campaign) Progress() Progress {
 	return cp.progressLocked()
 }
 
-// notifyLocked wakes every long-poll waiter.
+// notifyLocked wakes every long-poll waiter and event streamer.
 func (cp *Campaign) notifyLocked() {
 	close(cp.changed)
 	cp.changed = make(chan struct{})
 }
 
 // settle records one job outcome. It runs on engine worker goroutines
-// (via Job.OnDone) and on the dispatcher for jobs that never enqueued.
+// (via the shared OnDone callback, routed by Result.Tag) and on the
+// dispatcher for jobs that never enqueued.
 func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	jr := JobResult{Index: idx}
 	canceled := false
@@ -194,7 +244,6 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	}
 
 	cp.mu.Lock()
-	defer cp.mu.Unlock()
 	switch {
 	case err == nil:
 		cp.completed++
@@ -204,37 +253,86 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 		cp.failed++
 	}
 	cp.results = append(cp.results, jr)
-	if cp.completed+cp.failed+cp.canceledJobs == cp.total {
+	cp.appendEventLocked(Event{Type: EventResult, Job: &jr})
+	if cp.settledLocked() == cp.total {
 		cp.finished = time.Now()
+		cp.appendDoneLocked()
 	}
 	cp.notifyLocked()
+	// An expired campaign's quota was returned in bulk when GC reaped it;
+	// a straggler job settling afterwards must not release it twice.
+	releaseQuota := !cp.quotaReleased
+	cp.mu.Unlock()
+
+	if releaseQuota && cp.onSettled != nil {
+		cp.onSettled()
+	}
 }
 
-// Cancel stops the campaign: queued jobs settle as canceled (their
-// shared context is dead before a worker picks them up); jobs already
-// inside a decoder run to completion and still count. Canceling a
-// campaign whose jobs have all settled is a no-op — Done stays Done.
+// Cancel stops the campaign: jobs not yet dispatched (or still queued
+// on the shard) settle as canceled; jobs already inside a decoder run
+// to completion and still count. Canceling a campaign whose jobs have
+// all settled is a no-op — Done stays Done.
 func (cp *Campaign) Cancel() {
-	cp.cancel()
+	// The flag must be set before the context dies: workers settle every
+	// queued job the instant the context cancels, and the last settle
+	// seals the log with the state it observes — flag-after-cancel could
+	// seal a canceled campaign as "done".
 	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	if !cp.canceledFlag && cp.completed+cp.failed+cp.canceledJobs < cp.total {
+	if !cp.canceledFlag && cp.settledLocked() < cp.total {
 		cp.canceledFlag = true
+		cp.canceledAt = time.Now()
 		cp.notifyLocked()
 	}
+	cp.mu.Unlock()
+	cp.cancel()
+	if cp.onCancel != nil {
+		cp.onCancel()
+	}
+}
+
+// expire marks the campaign terminal on behalf of Store.GC: parked
+// waiters wake with a terminal progress and event streams receive their
+// closing event instead of waiting out their timeouts against a
+// campaign the store no longer knows. It returns the number of
+// unsettled jobs whose tenant quota the caller must release in bulk —
+// those jobs may never settle (the reap premise is a wedged decoder),
+// and any straggler that does settle later skips the per-job release.
+// Settled campaigns are unaffected (their terminal event already
+// exists) and return 0.
+func (cp *Campaign) expire() (releasedQuota int) {
+	// Flag and seal before canceling, for the same reason as Cancel: the
+	// terminal event must carry the expired state, not whatever the last
+	// racing settle would observe.
+	cp.mu.Lock()
+	if cp.settledLocked() < cp.total && !cp.expiredFlag {
+		cp.expiredFlag = true
+		cp.quotaReleased = true
+		releasedQuota = cp.total - cp.settledLocked()
+		cp.appendDoneLocked()
+		cp.notifyLocked()
+	}
+	cp.mu.Unlock()
+	cp.cancel()
+	return releasedQuota
+}
+
+// terminalLocked reports whether Wait has nothing left to wait for.
+func (cp *Campaign) terminalLocked() bool {
+	return cp.settledLocked() == cp.total || cp.expiredFlag
 }
 
 // Wait long-polls the campaign: it returns the current progress as soon
-// as the campaign is terminal with all jobs settled, or after d has
-// elapsed (or ctx fired), whichever comes first. Intermediate updates
-// re-arm the wait, so a sequence of Wait calls observes monotonically
-// increasing Settled().
+// as the campaign is terminal with all jobs settled (or expired by GC),
+// or after d has elapsed (or ctx fired), whichever comes first.
+// Intermediate updates re-arm the wait, so a sequence of Wait calls
+// observes monotonically increasing Settled().
 func (cp *Campaign) Wait(ctx context.Context, d time.Duration) Progress {
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	for {
 		cp.mu.Lock()
-		if cp.completed+cp.failed+cp.canceledJobs == cp.total {
+		if cp.terminalLocked() {
 			p := cp.progressLocked()
 			cp.mu.Unlock()
 			return p
@@ -258,9 +356,27 @@ func (cp *Campaign) finishedAt() time.Time {
 	return cp.finished
 }
 
+// staleCanceled reports whether the campaign was canceled longer than
+// retention ago and still has unsettled jobs — the reap condition for
+// campaigns wedged by a decoder that never returns.
+func (cp *Campaign) staleCanceled(now time.Time, retention time.Duration) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.canceledFlag && cp.settledLocked() < cp.total &&
+		!cp.canceledAt.IsZero() && now.Sub(cp.canceledAt) > retention
+}
+
 // ErrTooManyCampaigns is returned by Create when MaxActive campaigns
 // are already unfinished — the campaign-level admission-control signal.
 var ErrTooManyCampaigns = errors.New("campaign: too many active campaigns")
+
+// ErrTenantQuota is returned by Create when the submitting tenant's
+// MaxActive-campaigns or max-queued-jobs quota is exhausted. Other
+// tenants are unaffected — the point of per-tenant admission.
+var ErrTenantQuota = errors.New("campaign: tenant quota exhausted")
+
+// errStoreClosed settles jobs still pending when the Store closes.
+var errStoreClosed = errors.New("campaign: store closed")
 
 // Request describes a campaign submission.
 type Request struct {
@@ -270,6 +386,9 @@ type Request struct {
 	Batch [][]int64
 	// K is the signal Hamming weight.
 	K int
+	// Tenant attributes the campaign for quota accounting and fair
+	// dispatch; empty means DefaultTenant.
+	Tenant string
 	// Noise declares how the batch was measured; the zero value means
 	// exact counts. The model applies to every job of the campaign: it
 	// drives server-side decoder selection (when Dec is nil), widens the
@@ -280,28 +399,79 @@ type Request struct {
 	Dec decoder.Decoder
 }
 
+func (r Request) tenant() string {
+	if r.Tenant == "" {
+		return DefaultTenant
+	}
+	return r.Tenant
+}
+
 // Store owns campaign lifecycle: creation (with admission control
-// against the owning shard's queue), lookup, cancellation, and GC of
-// finished campaigns.
+// against the owning shard's queue and per-tenant quotas), lookup,
+// cancellation, fair cross-tenant dispatch, and GC of finished
+// campaigns.
 type Store struct {
 	cluster *engine.Cluster
 	cfg     Config
 
-	mu     sync.Mutex
-	nextID int
-	byID   map[string]*Campaign
+	mu           sync.Mutex
+	nextID       int
+	byID         map[string]*Campaign
+	tenants      map[string]*tenantState
+	rr           []string // tenant rotation order for fair dispatch
+	rrPos        int
+	pendingTotal int
+	closed       bool
+
+	wake chan struct{} // buffered(1): pending work for the dispatcher
+	stop chan struct{}
+	done chan struct{} // dispatcher exited
+
+	stopOnce sync.Once
 }
 
-// NewStore creates a Store over the cluster.
+// NewStore creates a Store over the cluster and starts its dispatcher.
+// Release the dispatcher with Close when the store is no longer needed
+// (a long-lived service can let it live for the process lifetime).
 func NewStore(cluster *engine.Cluster, cfg Config) *Store {
-	return &Store{cluster: cluster, cfg: cfg, byID: make(map[string]*Campaign)}
+	st := newStore(cluster, cfg)
+	go st.dispatchLoop()
+	return st
 }
 
-// Create validates and admits a campaign, then fans its jobs out
-// asynchronously and returns immediately. It returns
-// engine.ErrSaturated when the owning shard's decode queue is full
-// (the rejected jobs count toward that shard's Stats.JobsRejected) and
-// ErrTooManyCampaigns when MaxActive campaigns are already running.
+// newStore builds a Store without starting the dispatcher — tests use
+// it to observe the pending queues deterministically.
+func newStore(cluster *engine.Cluster, cfg Config) *Store {
+	return &Store{
+		cluster: cluster,
+		cfg:     cfg,
+		byID:    make(map[string]*Campaign),
+		tenants: make(map[string]*tenantState),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Close stops the dispatcher; jobs still pending dispatch settle as
+// failed with a store-closed error so their campaigns terminate.
+// Campaigns already on shard queues drain through the engine as usual.
+func (st *Store) Close() {
+	st.stopOnce.Do(func() {
+		st.mu.Lock()
+		st.closed = true
+		st.mu.Unlock()
+		close(st.stop)
+	})
+	<-st.done
+}
+
+// Create validates and admits a campaign, then queues its jobs for fair
+// dispatch and returns immediately. It returns engine.ErrSaturated when
+// the owning shard's decode queue is full (the rejected jobs count
+// toward that shard's Stats.JobsRejected), ErrTooManyCampaigns when
+// MaxActive campaigns are already running, and ErrTenantQuota when the
+// tenant's own campaign or queued-job quota is exhausted.
 func (st *Store) Create(req Request) (*Campaign, error) {
 	if req.Scheme == nil || req.Scheme.G == nil {
 		return nil, fmt.Errorf("campaign: no scheme")
@@ -321,6 +491,12 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 	if err := req.Noise.Validate(); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	// A batch bigger than the whole per-tenant queue quota can never be
+	// admitted no matter how long the client waits — that is a
+	// validation error (non-retryable), not a quota rejection.
+	if st.cfg.TenantMaxQueued > 0 && len(req.Batch) > st.cfg.TenantMaxQueued {
+		return nil, fmt.Errorf("campaign: batch of %d jobs exceeds the per-tenant queue quota of %d; split the batch", len(req.Batch), st.cfg.TenantMaxQueued)
+	}
 	// Admission control: a saturated owning shard rejects the whole batch
 	// up front instead of buffering it behind an already-full queue.
 	shard := st.cluster.Owner(req.Scheme)
@@ -328,45 +504,60 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 		shard.NoteRejected(len(req.Batch))
 		return nil, engine.ErrSaturated
 	}
+	tenant := req.tenant()
 
 	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, errStoreClosed
+	}
 	st.gcLocked(time.Now())
 	if st.activeLocked() >= st.cfg.maxActive() {
 		st.mu.Unlock()
 		return nil, ErrTooManyCampaigns
 	}
+	if st.cfg.TenantMaxActive > 0 && st.tenantActiveLocked(tenant) >= st.cfg.TenantMaxActive {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q at %d active campaigns", ErrTenantQuota, tenant, st.cfg.TenantMaxActive)
+	}
+	ts := st.tenantLocked(tenant)
+	if st.cfg.TenantMaxQueued > 0 && ts.unsettled+len(req.Batch) > st.cfg.TenantMaxQueued {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q would exceed %d queued jobs", ErrTenantQuota, tenant, st.cfg.TenantMaxQueued)
+	}
 	st.nextID++
 	ctx, cancel := context.WithCancel(context.Background())
 	cp := &Campaign{
 		id:      fmt.Sprintf("c%d", st.nextID),
+		tenant:  tenant,
 		total:   len(req.Batch),
 		noise:   req.Noise.Canon(),
+		ctx:     ctx,
 		cancel:  cancel,
 		changed: make(chan struct{}),
 	}
+	cp.onSettled = func() { st.jobSettled(tenant) }
+	cp.onCancel = func() { st.purgeCanceled(cp) }
 	st.byID[cp.id] = cp
+
+	// Queue the jobs for the dispatcher. One OnDone callback is shared by
+	// the whole batch; the engine routes each settlement back by its tag.
+	onDone := func(res engine.Result, err error) { cp.settle(res.Tag, res, err) }
+	ts.unsettled += len(req.Batch)
+	for i, y := range req.Batch {
+		ts.push(pendingJob{
+			cp: cp,
+			job: engine.Job{
+				Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
+				Tag: i, OnDone: onDone,
+			},
+		})
+	}
+	st.pendingTotal += len(req.Batch)
 	st.mu.Unlock()
 
-	go st.dispatch(ctx, cp, req)
+	st.signalWake()
 	return cp, nil
-}
-
-// dispatch feeds the campaign's jobs to the owning shard. Submit blocks
-// on a full queue — backpressure, not rejection, once a campaign is
-// admitted — and a canceled campaign context settles the remaining jobs
-// without enqueueing them.
-func (st *Store) dispatch(ctx context.Context, cp *Campaign, req Request) {
-	for i, y := range req.Batch {
-		idx := i
-		job := engine.Job{
-			Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
-			OnDone: func(res engine.Result, err error) { cp.settle(idx, res, err) },
-		}
-		if _, err := st.cluster.Submit(ctx, job); err != nil {
-			// Never enqueued: the worker will not call OnDone.
-			cp.settle(idx, engine.Result{}, err)
-		}
-	}
 }
 
 // Get returns the campaign with the given id.
@@ -432,9 +623,25 @@ func (st *Store) activeLocked() int {
 	return n
 }
 
-// GC drops finished campaigns older than the retention window and, past
-// MaxFinished, the oldest finished ones regardless of age. It returns
-// the number collected. Create runs it opportunistically.
+func (st *Store) tenantActiveLocked(tenant string) int {
+	n := 0
+	for _, cp := range st.byID {
+		if cp.tenant == tenant && cp.finishedAt().IsZero() {
+			n++
+		}
+	}
+	return n
+}
+
+// GC drops finished campaigns older than the retention window, stale
+// canceled campaigns (canceled longer than retention ago but never
+// fully settled — a wedged decoder), and, past MaxFinished, the oldest
+// finished ones regardless of age. Every dropped campaign is expired
+// first so parked waiters and event streams observe a terminal state
+// instead of waiting out their timeouts. It returns the number
+// collected. Create runs it opportunistically; pooledd also runs it on
+// a ticker so idle servers release finished campaigns and their event
+// logs.
 func (st *Store) GC(now time.Time) int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -448,14 +655,30 @@ func (st *Store) gcLocked(now time.Time) int {
 	}
 	var finished []fin
 	collected := 0
+	reap := func(id string, cp *Campaign) {
+		// Wake parked waiters with a terminal progress first, and return
+		// the unsettled jobs' quota to the tenant — wedged jobs would
+		// otherwise pin TenantMaxQueued forever.
+		if released := cp.expire(); released > 0 {
+			if ts, ok := st.tenants[cp.tenant]; ok {
+				if ts.unsettled -= released; ts.unsettled < 0 {
+					ts.unsettled = 0
+				}
+			}
+		}
+		delete(st.byID, id)
+		collected++
+	}
 	for id, cp := range st.byID {
 		at := cp.finishedAt()
 		if at.IsZero() {
+			if cp.staleCanceled(now, st.cfg.retention()) {
+				reap(id, cp)
+			}
 			continue
 		}
 		if now.Sub(at) > st.cfg.retention() {
-			delete(st.byID, id)
-			collected++
+			reap(id, cp)
 			continue
 		}
 		finished = append(finished, fin{id, at})
@@ -463,9 +686,34 @@ func (st *Store) gcLocked(now time.Time) int {
 	if over := len(finished) - st.cfg.maxFinished(); over > 0 {
 		sort.Slice(finished, func(i, j int) bool { return finished[i].at.Before(finished[j].at) })
 		for _, f := range finished[:over] {
-			delete(st.byID, f.id)
-			collected++
+			reap(f.id, st.byID[f.id])
 		}
 	}
+	st.pruneTenantsLocked()
 	return collected
+}
+
+// pruneTenantsLocked drops tenant accounting entries with no retained
+// campaigns, no pending jobs, and no unsettled jobs.
+func (st *Store) pruneTenantsLocked() {
+	inUse := make(map[string]bool, len(st.byID))
+	for _, cp := range st.byID {
+		inUse[cp.tenant] = true
+	}
+	dropped := false
+	for name, ts := range st.tenants {
+		if !inUse[name] && ts.unsettled == 0 && ts.pendingLen() == 0 {
+			delete(st.tenants, name)
+			dropped = true
+		}
+	}
+	if dropped {
+		rr := st.rr[:0]
+		for _, name := range st.rr {
+			if _, ok := st.tenants[name]; ok {
+				rr = append(rr, name)
+			}
+		}
+		st.rr = rr
+	}
 }

@@ -18,7 +18,7 @@ import (
 	"pooleddata/internal/threshgt"
 )
 
-func testCluster(t *testing.T, shards, workers, queue int) *engine.Cluster {
+func testCluster(t testing.TB, shards, workers, queue int) *engine.Cluster {
 	t.Helper()
 	c := engine.NewCluster(engine.ClusterConfig{
 		Shards: shards,
@@ -29,7 +29,7 @@ func testCluster(t *testing.T, shards, workers, queue int) *engine.Cluster {
 }
 
 // testBatch builds a scheme plus a measured batch with known signals.
-func testBatch(t *testing.T, c *engine.Cluster, n, k, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64) {
+func testBatch(t testing.TB, c *engine.Cluster, n, k, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64) {
 	t.Helper()
 	s, err := c.Scheme(nil, n, m, seed)
 	if err != nil {
@@ -276,7 +276,7 @@ func TestCampaignGC(t *testing.T) {
 
 // thresholdBatch builds a threshold-T scheme on the cluster plus a
 // binarized measured batch through the noise model's batched path.
-func thresholdBatch(t *testing.T, c *engine.Cluster, n, k, T, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64, noise.Model) {
+func thresholdBatch(t testing.TB, c *engine.Cluster, n, k, T, m, batch int, seed uint64) (*engine.Scheme, []*bitvec.Vector, [][]int64, noise.Model) {
 	t.Helper()
 	des := pooling.RandomRegular{Gamma: threshgt.RecommendedGamma(n, k, T)}
 	s, err := c.Scheme(des, n, m, seed)

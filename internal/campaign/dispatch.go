@@ -1,0 +1,344 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pooleddata/internal/engine"
+)
+
+// Fair cross-tenant dispatch: admitted campaign jobs do not go straight
+// to the owning shard's queue. They wait in per-tenant queues, and one
+// dispatcher goroutine hands them to the cluster in round-robin order
+// across tenants — so a tenant that submits a thousand-job campaign
+// first does not serialize every other tenant behind it, which is what
+// the old FIFO per-campaign fan-out did. Within a tenant the queue is
+// split per target shard (a campaign's jobs all decode on its scheme's
+// owning shard), and the tenant's turns rotate across its shards: one
+// campaign stuck behind a wedged shard cannot stall the same tenant's
+// campaigns on idle shards. Backpressure is cooperative: the dispatcher
+// offers jobs with engine.Offer (TrySubmit without the rejection
+// accounting) and keeps a saturated queue's head job on its side,
+// retrying on a short backoff, so a full shard stalls only the work it
+// owns.
+
+// saturationBackoff is how long the dispatcher parks when every
+// dispatchable head job hit a saturated shard queue. Short enough that
+// a draining worker is picked up promptly, long enough not to spin.
+const saturationBackoff = 2 * time.Millisecond
+
+// pendingJob is one admitted job awaiting dispatch.
+type pendingJob struct {
+	cp  *Campaign
+	job engine.Job
+}
+
+// fifo is a head-indexed job queue: pop and push-front are O(1) — a
+// saturated head job is requeued every retry cycle, so the queue must
+// not be copied each time.
+type fifo struct {
+	jobs []pendingJob
+	head int
+}
+
+func (q *fifo) len() int { return len(q.jobs) - q.head }
+
+func (q *fifo) push(pj pendingJob) { q.jobs = append(q.jobs, pj) }
+
+func (q *fifo) pop() pendingJob {
+	pj := q.jobs[q.head]
+	q.jobs[q.head] = pendingJob{} // release references
+	q.head++
+	if q.head == len(q.jobs) {
+		q.jobs, q.head = q.jobs[:0], 0
+	}
+	return pj
+}
+
+// pushFront restores a just-popped job to the head. The popped slot is
+// normally still free (pop only advances head); the copying prepend is
+// only reachable when a concurrent purge rebuilt the queue (resetting
+// head) while this job was out for dispatch.
+func (q *fifo) pushFront(pj pendingJob) {
+	if q.head > 0 {
+		q.head--
+		q.jobs[q.head] = pj
+		return
+	}
+	if len(q.jobs) == 0 {
+		q.jobs = append(q.jobs, pj)
+		return
+	}
+	q.jobs = append([]pendingJob{pj}, q.jobs...)
+}
+
+// replace swaps in a rebuilt queue (purge filtering), dropping the
+// consumed head region.
+func (q *fifo) replace(jobs []pendingJob) { q.jobs, q.head = jobs, 0 }
+
+// tenantState is one tenant's dispatch queues and quota accounting.
+type tenantState struct {
+	// byShard holds the tenant's pending jobs keyed by the engine shard
+	// they target; shards is the rotation order for the tenant's turns.
+	byShard map[int]*fifo
+	shards  []int
+	rrPos   int
+	// unsettled counts admitted jobs that have not yet settled
+	// (pending + on shard queues + inside decoders) — the quota
+	// Config.TenantMaxQueued bounds.
+	unsettled int
+}
+
+func (ts *tenantState) pendingLen() int {
+	n := 0
+	for _, q := range ts.byShard {
+		n += q.len()
+	}
+	return n
+}
+
+func (ts *tenantState) queueFor(shard int) *fifo {
+	q, ok := ts.byShard[shard]
+	if !ok {
+		if ts.byShard == nil {
+			ts.byShard = make(map[int]*fifo)
+		}
+		q = &fifo{}
+		ts.byShard[shard] = q
+		ts.shards = append(ts.shards, shard)
+	}
+	return q
+}
+
+func jobShard(pj pendingJob) int { return pj.job.Scheme.Home() }
+
+func (ts *tenantState) push(pj pendingJob) { ts.queueFor(jobShard(pj)).push(pj) }
+
+func (ts *tenantState) pushFront(pj pendingJob) { ts.queueFor(jobShard(pj)).pushFront(pj) }
+
+// pop takes the head job of the tenant's next non-empty shard queue in
+// rotation. Callers check pendingLen() > 0 first.
+func (ts *tenantState) pop() pendingJob {
+	for i := 0; i < len(ts.shards); i++ {
+		q := ts.byShard[ts.shards[ts.rrPos%len(ts.shards)]]
+		ts.rrPos++
+		if q.len() > 0 {
+			return q.pop()
+		}
+	}
+	panic("campaign: pop on empty tenant queue")
+}
+
+// tenantLocked returns (creating if needed) the tenant's state.
+func (st *Store) tenantLocked(name string) *tenantState {
+	ts, ok := st.tenants[name]
+	if !ok {
+		ts = &tenantState{}
+		st.tenants[name] = ts
+		st.rr = append(st.rr, name)
+	}
+	return ts
+}
+
+// signalWake nudges the dispatcher; coalesces when one is pending.
+func (st *Store) signalWake() {
+	select {
+	case st.wake <- struct{}{}:
+	default:
+	}
+}
+
+// jobSettled is the Campaign → Store accounting hook, called once per
+// settled job without any campaign lock held.
+func (st *Store) jobSettled(tenant string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ts, ok := st.tenants[tenant]; ok && ts.unsettled > 0 {
+		ts.unsettled--
+	}
+}
+
+// purgeCanceled pulls a canceled campaign's undispatched jobs out of
+// its tenant queues and settles them immediately, so cancellation is
+// prompt even when the queue's head job is stuck behind a saturated
+// shard. Called without campaign locks held.
+func (st *Store) purgeCanceled(cp *Campaign) {
+	st.mu.Lock()
+	var mine []pendingJob
+	if ts, ok := st.tenants[cp.tenant]; ok {
+		for _, q := range ts.byShard {
+			var keep []pendingJob
+			for _, pj := range q.jobs[q.head:] {
+				if pj.cp == cp {
+					mine = append(mine, pj)
+				} else {
+					keep = append(keep, pj)
+				}
+			}
+			q.replace(keep)
+		}
+		st.pendingTotal -= len(mine)
+	}
+	st.mu.Unlock()
+	for _, pj := range mine {
+		pj.cp.settle(pj.job.Tag, engine.Result{}, context.Canceled)
+	}
+}
+
+// nextPending pops the next job in the two-level rotation (tenants,
+// then the tenant's shards).
+func (st *Store) nextPending() (pj pendingJob, ok bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.pendingTotal == 0 || len(st.rr) == 0 {
+		return pendingJob{}, false
+	}
+	for i := 0; i < len(st.rr); i++ {
+		name := st.rr[st.rrPos%len(st.rr)]
+		st.rrPos++
+		ts := st.tenants[name]
+		if ts == nil || ts.pendingLen() == 0 {
+			continue
+		}
+		st.pendingTotal--
+		return ts.pop(), true
+	}
+	return pendingJob{}, false
+}
+
+// busyQueues counts the (tenant, shard) queues with pending jobs — the
+// dispatcher's "full rotation" size for deciding when every
+// dispatchable head job hit a saturated shard. Counting queues rather
+// than tenants matters inside a single tenant too: its campaign on a
+// wedged shard must not trigger the backoff while its campaign on an
+// idle shard still has work. Only computed on the saturated path, not
+// per dispatched job.
+func (st *Store) busyQueues() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, ts := range st.tenants {
+		for _, q := range ts.byShard {
+			if q.len() > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// requeueFront puts a job whose shard was saturated back at the front
+// of its shard queue, preserving FIFO order there.
+func (st *Store) requeueFront(pj pendingJob) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tenantLocked(pj.cp.tenant).pushFront(pj)
+	st.pendingTotal++
+}
+
+// dispatchLoop is the Store's dispatcher goroutine: round-robin across
+// tenants (and across shards within a tenant), one job per turn, until
+// Close. saturatedStreak counts consecutive Offer calls that hit a full
+// shard; only when it covers every (tenant, shard) queue with pending
+// work — i.e. every dispatchable head job in the system was stuck —
+// does the loop park on the backoff timer. A single saturated shard
+// must not throttle tenants or campaigns whose shards have room.
+func (st *Store) dispatchLoop() {
+	defer close(st.done)
+	saturatedStreak := 0
+	for {
+		pj, ok := st.nextPending()
+		if !ok {
+			select {
+			case <-st.wake:
+				continue
+			case <-st.stop:
+				st.drainPending()
+				return
+			}
+		}
+		if err := pj.cp.ctx.Err(); err != nil {
+			// The campaign died before its job reached a shard.
+			pj.cp.settle(pj.job.Tag, engine.Result{}, err)
+			saturatedStreak = 0
+			continue
+		}
+		_, err := st.cluster.Offer(pj.cp.ctx, pj.job)
+		switch {
+		case err == nil:
+			// Enqueued; the shared OnDone callback settles it.
+			saturatedStreak = 0
+		case errors.Is(err, engine.ErrSaturated):
+			// Backpressure, not rejection: the job goes back to the head of
+			// its shard queue and the rotation moves on. Park only once
+			// every busy tenant's turn has failed in a row.
+			st.requeueFront(pj)
+			saturatedStreak++
+			if saturatedStreak < st.busyQueues() {
+				continue
+			}
+			saturatedStreak = 0
+			select {
+			case <-st.wake:
+			case <-time.After(saturationBackoff):
+			case <-st.stop:
+				st.drainPending()
+				return
+			}
+		default:
+			pj.cp.settle(pj.job.Tag, engine.Result{}, err)
+			saturatedStreak = 0
+		}
+	}
+}
+
+// drainPending settles every job still queued at Close so no campaign
+// waits forever on jobs that will never dispatch.
+func (st *Store) drainPending() {
+	st.mu.Lock()
+	var all []pendingJob
+	for _, ts := range st.tenants {
+		for _, q := range ts.byShard {
+			all = append(all, q.jobs[q.head:]...)
+			q.replace(nil)
+		}
+	}
+	st.pendingTotal = 0
+	st.mu.Unlock()
+	for _, pj := range all {
+		pj.cp.settle(pj.job.Tag, engine.Result{}, errStoreClosed)
+	}
+}
+
+// TenantStats is one tenant's gauge block in /v1/stats.
+type TenantStats struct {
+	// Active and Finished count the tenant's retained campaigns.
+	Active   int `json:"active"`
+	Finished int `json:"finished"`
+	// PendingJobs are admitted jobs still waiting for dispatch;
+	// UnsettledJobs additionally counts jobs on shard queues or inside
+	// decoders (the TenantMaxQueued quota gauge).
+	PendingJobs   int `json:"pending_jobs"`
+	UnsettledJobs int `json:"unsettled_jobs"`
+}
+
+// Tenants snapshots the per-tenant gauges.
+func (st *Store) Tenants() map[string]TenantStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]TenantStats, len(st.tenants))
+	for name, ts := range st.tenants {
+		out[name] = TenantStats{PendingJobs: ts.pendingLen(), UnsettledJobs: ts.unsettled}
+	}
+	for _, cp := range st.byID {
+		g := out[cp.tenant]
+		if cp.finishedAt().IsZero() {
+			g.Active++
+		} else {
+			g.Finished++
+		}
+		out[cp.tenant] = g
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package campaign
+
+// The campaign event log: every job settlement appends one monotone,
+// gapless-sequence event, and the campaign's terminal transition (all
+// jobs settled, or expiry by GC) appends exactly one closing event that
+// seals the log. The log is bounded by construction — at most Total+1
+// entries — so it is the shared replay buffer for any number of
+// streaming subscribers: a subscriber keeps only a cursor (the last
+// sequence number it consumed), never a private queue, which is what
+// makes slow-client handling an eviction decision at the transport
+// instead of unbounded per-client buffering. Cursors are resumable:
+// EventsSince(seq) replays everything after seq, which is exactly the
+// SSE Last-Event-ID contract pooledd serves.
+
+// Event types.
+const (
+	// EventResult is a per-job settlement; Event.Job carries the result.
+	EventResult = "result"
+	// EventDone is the single terminal event that ends every stream.
+	EventDone = "done"
+)
+
+// Event is one entry in a campaign's monotone event log.
+type Event struct {
+	// Seq is the 1-based, gapless sequence number — the resume cursor
+	// (and the SSE event id).
+	Seq int64 `json:"seq"`
+	// Type is EventResult or EventDone.
+	Type string `json:"type"`
+	// Job is the settled job (EventResult only). It is immutable once
+	// appended and shared across subscribers.
+	Job *JobResult `json:"job,omitempty"`
+	// Final counters (EventDone only).
+	State     State `json:"state,omitempty"`
+	Total     int   `json:"total,omitempty"`
+	Completed int   `json:"completed,omitempty"`
+	Failed    int   `json:"failed,omitempty"`
+	Canceled  int   `json:"canceled,omitempty"`
+}
+
+// Terminal reports whether the event closes its stream.
+func (ev Event) Terminal() bool { return ev.Type == EventDone }
+
+// appendEventLocked appends ev with the next sequence number. A sealed
+// log (terminal event present) drops late events: a job that settles
+// after GC expired its campaign updates the counters but is not
+// re-announced to streams that already received their closing event.
+func (cp *Campaign) appendEventLocked(ev Event) {
+	if cp.sealed {
+		return
+	}
+	ev.Seq = int64(len(cp.events)) + 1
+	cp.events = append(cp.events, ev)
+}
+
+// appendDoneLocked seals the log with the terminal event.
+func (cp *Campaign) appendDoneLocked() {
+	if cp.sealed {
+		return
+	}
+	cp.appendEventLocked(Event{
+		Type: EventDone, State: cp.stateLocked(), Total: cp.total,
+		Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
+	})
+	cp.sealed = true
+}
+
+// EventsSince returns the events with sequence numbers greater than seq
+// (a copy safe to use without locks), the notification channel that
+// closes on the next update, and whether the log is sealed — once
+// sealed, the returned events are the last the cursor will ever see, so
+// a streamer that has written them can close its stream. Cursors out of
+// range are clamped: negative means "from the start", beyond the log
+// means "nothing yet".
+func (cp *Campaign) EventsSince(seq int64) (evs []Event, changed <-chan struct{}, sealed bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq > int64(len(cp.events)) {
+		seq = int64(len(cp.events))
+	}
+	// Seq is position+1, so the events after cursor seq start at index
+	// seq. Entries are never mutated after append, so copying the slice
+	// header region is enough.
+	evs = append([]Event(nil), cp.events[seq:]...)
+	return evs, cp.changed, cp.sealed
+}
+
+// Events reports the current log length — the sequence number of the
+// newest event.
+func (cp *Campaign) Events() int64 {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return int64(len(cp.events))
+}

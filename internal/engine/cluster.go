@@ -144,6 +144,16 @@ func (c *Cluster) TrySubmit(ctx context.Context, job Job) (*Future, error) {
 	return c.Owner(job.Scheme).TrySubmit(ctx, job)
 }
 
+// Offer is TrySubmit without the rejection accounting — the retry path
+// of a cooperative scheduler whose jobs were already admitted (the
+// campaign dispatcher).
+func (c *Cluster) Offer(ctx context.Context, job Job) (*Future, error) {
+	if err := validateJob(job); err != nil {
+		return nil, err
+	}
+	return c.Owner(job.Scheme).Offer(ctx, job)
+}
+
 // Decode runs one job through its owning shard's pipeline.
 func (c *Cluster) Decode(ctx context.Context, job Job) (Result, error) {
 	if err := validateJob(job); err != nil {

@@ -30,6 +30,13 @@ type Job struct {
 	// noise policy; nil means noise.SelectDecoder for noisy jobs and the
 	// paper's MN-Algorithm for exact ones.
 	Dec decoder.Decoder
+	// Tag is an opaque caller token echoed back in Result.Tag on every
+	// settle path (completed, failed, canceled). It lets a fan-out caller
+	// share one OnDone callback across a batch and route each settlement
+	// by tag instead of allocating a closure per job — the campaign
+	// subsystem stamps the job's batch index here and builds its event
+	// log straight from the callback payload, no extra lookup or lock.
+	Tag int
 	// OnDone, if set, is invoked exactly once when the job settles —
 	// completed, failed, or canceled — after its Future completes. It runs
 	// on the worker goroutine, so it must be cheap and must not block; the
@@ -65,6 +72,9 @@ type JobStats struct {
 
 // Result is the outcome of a completed job.
 type Result struct {
+	// Tag echoes Job.Tag — present on every settle path, including
+	// cancellations and failures.
+	Tag int
 	// Support is the recovered one-entry index set, ascending.
 	Support []int
 	// Estimate is the recovered signal as a bit vector.
@@ -119,20 +129,43 @@ var ErrClosed = fmt.Errorf("engine: closed")
 // the admission-control signal a front-end turns into 429 + Retry-After.
 var ErrSaturated = fmt.Errorf("engine: decode queue saturated")
 
+// submitMode selects how submit treats a full queue.
+type submitMode int
+
+const (
+	// submitBlock waits for queue space (backpressure).
+	submitBlock submitMode = iota
+	// submitTry returns ErrSaturated and counts the rejection — the
+	// admission-control path.
+	submitTry
+	// submitOffer returns ErrSaturated without counting it: the caller is
+	// a cooperative scheduler that was already admitted and will retry.
+	submitOffer
+)
+
 // Submit validates and enqueues a decode job, returning a Future. It
 // blocks while the queue is full; ctx cancels both the enqueue wait and —
 // if still queued when it fires — the job itself.
 func (e *Engine) Submit(ctx context.Context, job Job) (*Future, error) {
-	return e.submit(ctx, job, true)
+	return e.submit(ctx, job, submitBlock)
 }
 
 // TrySubmit is Submit without the enqueue wait: a full queue returns
 // ErrSaturated immediately and counts toward Stats.JobsRejected.
 func (e *Engine) TrySubmit(ctx context.Context, job Job) (*Future, error) {
-	return e.submit(ctx, job, false)
+	return e.submit(ctx, job, submitTry)
 }
 
-func (e *Engine) submit(ctx context.Context, job Job, wait bool) (*Future, error) {
+// Offer is TrySubmit for cooperative schedulers (the campaign
+// dispatcher): a full queue returns ErrSaturated immediately but does
+// not count toward Stats.JobsRejected — the job was already admitted
+// and the caller keeps it queued on its side to retry, so counting it
+// as a rejection would double-book every backpressure stall.
+func (e *Engine) Offer(ctx context.Context, job Job) (*Future, error) {
+	return e.submit(ctx, job, submitOffer)
+}
+
+func (e *Engine) submit(ctx context.Context, job Job, mode submitMode) (*Future, error) {
 	if err := validateJob(job); err != nil {
 		return nil, err
 	}
@@ -150,13 +183,15 @@ func (e *Engine) submit(ctx context.Context, job Job, wait bool) (*Future, error
 	if e.closed {
 		return nil, ErrClosed
 	}
-	if !wait {
+	if mode != submitBlock {
 		select {
 		case e.jobs <- t:
 			e.stats.jobsSubmitted.Add(1)
 			return fut, nil
 		default:
-			e.stats.jobsRejected.Add(1)
+			if mode == submitTry {
+				e.stats.jobsRejected.Add(1)
+			}
 			return nil, ErrSaturated
 		}
 	}
@@ -227,8 +262,11 @@ func (e *Engine) run(t *task) {
 	t.settle(res, nil)
 }
 
-// settle completes the task's future and then fires OnDone.
+// settle completes the task's future and then fires OnDone. The job's
+// tag is stamped on every path so OnDone handlers can route the
+// settlement without per-job closures.
 func (t *task) settle(res Result, err error) {
+	res.Tag = t.job.Tag
 	t.fut.complete(res, err)
 	if t.job.OnDone != nil {
 		t.job.OnDone(res, err)
