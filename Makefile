@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise bench-stream clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote clean
 
 all: build vet test
 
@@ -38,6 +38,12 @@ bench-noise:
 # out to S concurrent event-stream subscribers.
 bench-stream:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkCampaignStreaming' -benchtime 1x ./internal/campaign
+
+# The federation benchmark: one decode through a worker over httptest
+# loopback (JSON + HTTP + client queue) vs the same decode on a local
+# shard — the per-job wire overhead a deployment amortizes by batching.
+bench-remote:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkRemoteShardDecode' -benchtime 100x ./internal/remote
 
 clean:
 	$(GO) clean ./...

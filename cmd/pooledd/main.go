@@ -6,10 +6,23 @@
 // labs coexist because each design lives on the shard that owns its
 // spec hash, so one tenant's churn cannot evict another's scheme.
 //
-// Usage:
+// It runs in two modes:
 //
-//	pooledd -addr :8080 -shards 4 -cache 16 -workers 2 -queue 64 \
-//	        -designs lab-a.csv,lab-b.csv -snapshot specs.json
+//   - Frontend (default): serves the public /v1 API. Shards are local
+//     engines, or — with -workers — remote shard clients, one per
+//     `pooledd -worker` process, so one frontend fans decode traffic
+//     out across machines:
+//
+//     pooledd -addr :8080 -shards 4 -cache 16 -shard-workers 2 \
+//     -designs lab-a.csv,lab-b.csv -snapshot specs.json
+//
+//     pooledd -addr :8080 -workers node1:9090,node2:9090
+//
+//   - Worker (-worker): serves only the shard API (/shard/v1/...) that
+//     frontends drive — scheme installs, decode submissions with 429
+//     admission mirroring, health, stats:
+//
+//     pooledd -worker -addr :9090 -shards 2 -queue 64
 //
 // API (JSON unless noted; design/count payloads reuse the labio CSV
 // formats of WriteDesignCSV/WriteCountsCSV):
@@ -29,8 +42,8 @@
 //	POST   /v1/campaigns           {"scheme":"s1","k":16,"batch":[[...],...]} → 202 + id
 //	                               + optional campaign-level "noise" object applied to
 //	                               every job, and an optional "tenant" for per-tenant
-//	                               quotas / fair dispatch (429 + Retry-After when the
-//	                               tenant's quota is exhausted)
+//	                               quotas / weighted fair dispatch (429 + Retry-After
+//	                               when the tenant's quota is exhausted)
 //	GET    /v1/campaigns           all retained campaigns
 //	GET    /v1/campaigns/{id}      progress + completed results; ?wait=5s long-polls
 //	GET    /v1/campaigns/{id}/events  SSE stream of per-job settlements as they land,
@@ -41,16 +54,19 @@
 //	                               still receive every settlement plus the terminal
 //	                               event)
 //	GET    /v1/stats               fleet aggregate + per-shard breakdown (queue depth,
-//	                               cache hits, rejected jobs, decode-latency histograms,
-//	                               jobs_by_noise per-model counters, campaign gauges,
-//	                               per-tenant gauges)
+//	                               worker health/addr, cache hits, rejected jobs,
+//	                               decode-latency histograms, jobs_by_noise per-model
+//	                               counters, campaign gauges, per-tenant gauges with
+//	                               decode-latency histograms)
 //
-// -snapshot persists the registered parametric scheme specs as JSON on
-// graceful shutdown (SIGINT/SIGTERM) and rebuilds them into the shard
-// caches on the next boot. -gc-interval runs campaign GC on a ticker so
-// an idle server releases finished campaigns (and their event logs)
-// without waiting for the next request. -tenant-max-active and
-// -tenant-max-queued set the per-tenant quotas.
+// -snapshot persists the registered scheme specs as JSON on graceful
+// shutdown (SIGINT/SIGTERM) and rebuilds them into the shard caches on
+// the next boot; ad-hoc uploaded designs are persisted alongside as
+// labio CSVs in <snapshot>.designs/. -gc-interval runs campaign GC on a
+// ticker so an idle server releases finished campaigns (and their event
+// logs) without waiting for the next request. -tenant-max-active and
+// -tenant-max-queued set the per-tenant quotas; -tenant-weights sets
+// weighted-fair-queuing dispatch weights (t1=3,t2=1).
 package main
 
 import (
@@ -60,54 +76,83 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
+	"pooleddata/internal/remote"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", 4, "engine shard count (each shard owns its cache and worker pool)")
+	workerMode := flag.Bool("worker", false, "serve only the shard worker API (the backend a -workers frontend drives)")
+	workerAddrs := flag.String("workers", "", "comma-separated worker addresses (host:port); the frontend decodes on these pooledd -worker processes instead of local shards")
+	workerTimeout := flag.Duration("worker-timeout", 0, "per-request deadline against remote workers (0: 60s)")
+	shards := flag.Int("shards", 4, "engine shard count (each shard owns its cache and worker pool); with -workers, the shard count is the worker count")
 	cache := flag.Int("cache", 16, "scheme cache capacity per shard (LRU)")
-	workers := flag.Int("workers", 0, "decode workers per shard (0: GOMAXPROCS/shards)")
+	shardWorkers := flag.Int("shard-workers", 0, "decode workers per shard (0: GOMAXPROCS/shards)")
 	queue := flag.Int("queue", 0, "decode queue depth per shard (0: 4x workers)")
 	maxSchemes := flag.Int("max-schemes", 64, "max registered scheme ids (oldest dropped beyond)")
 	maxBody := flag.Int64("max-body", 256<<20, "max request body bytes")
 	designs := flag.String("designs", "", "comma-separated labio design CSVs to preload at boot")
-	snapshot := flag.String("snapshot", "", "spec snapshot file: cached scheme specs written on shutdown, rebuilt on boot")
+	snapshot := flag.String("snapshot", "", "spec snapshot file: cached scheme specs written on shutdown, rebuilt on boot (ad-hoc designs persisted as CSVs in <snapshot>.designs/)")
 	gcInterval := flag.Duration("gc-interval", time.Minute, "campaign GC ticker period (0 disables the ticker; request-path GC still runs)")
 	tenantMaxActive := flag.Int("tenant-max-active", 0, "max active campaigns per tenant (0: unlimited)")
 	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "max unsettled campaign jobs per tenant (0: unlimited)")
+	tenantWeights := flag.String("tenant-weights", "", "weighted fair queuing, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
 	flag.Parse()
 
 	if *shards < 1 {
 		*shards = 1
 	}
-	cluster := engine.NewCluster(engine.ClusterConfig{
-		Shards: *shards,
-		Shard: engine.Config{
-			CacheCapacity: *cache,
-			Workers:       *workers, // 0: NewCluster splits GOMAXPROCS across shards
-			QueueDepth:    *queue,
-		},
-	})
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *workerMode {
+		runWorker(*addr, *shards, *cache, *shardWorkers, *queue, *maxSchemes, *maxBody)
+		return
+	}
+
+	var cluster *engine.Cluster
+	if *workerAddrs != "" {
+		addrs := splitList(*workerAddrs)
+		if len(addrs) == 0 {
+			fmt.Fprintf(os.Stderr, "pooledd: -workers %q names no worker addresses\n", *workerAddrs)
+			os.Exit(1)
+		}
+		remotes := make([]engine.Shard, len(addrs))
+		for i, a := range addrs {
+			remotes[i] = remote.New(remote.Options{Addr: a, RequestTimeout: *workerTimeout})
+		}
+		cluster = engine.NewClusterOf(remotes...)
+		fmt.Fprintf(os.Stderr, "pooledd: fronting %d remote workers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+	} else {
+		cluster = engine.NewCluster(engine.ClusterConfig{
+			Shards: *shards,
+			Shard: engine.Config{
+				CacheCapacity: *cache,
+				Workers:       *shardWorkers, // 0: NewCluster splits GOMAXPROCS across shards
+				QueueDepth:    *queue,
+			},
+		})
+	}
 	defer cluster.Close()
 
 	srv := newServer(cluster, campaign.Config{
 		TenantMaxActive: *tenantMaxActive,
 		TenantMaxQueued: *tenantMaxQueued,
+		TenantWeights:   weights,
 	})
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
 	if *designs != "" {
-		paths := strings.Split(*designs, ",")
-		for i := range paths {
-			paths[i] = strings.TrimSpace(paths[i])
-		}
-		if err := preloadDesigns(cluster, srv, paths, os.Stderr); err != nil {
+		if err := preloadDesigns(cluster, srv, splitList(*designs), os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 			os.Exit(1)
 		}
@@ -138,21 +183,8 @@ func main() {
 			}
 		}()
 	}
-	// SIGINT/SIGTERM drain in-flight requests, then the snapshot (if
-	// configured) persists the cached spec keys for the next boot.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(sctx); err != nil {
-			fmt.Fprintf(os.Stderr, "pooledd: shutdown: %v\n", err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "pooledd: listening on %s (%d shards x %d workers)\n", *addr, *shards, cluster.Shard(0).Workers())
+	done := serveUntilSignal(httpSrv)
+	fmt.Fprintf(os.Stderr, "pooledd: listening on %s (%d shards)\n", *addr, cluster.Shards())
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)
@@ -168,4 +200,84 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pooledd: snapshot written to %s\n", *snapshot)
 	}
+}
+
+// runWorker serves only the shard API over a local engine cluster — the
+// backend of a federated deployment. Schemes arrive from frontends
+// (installed lazily before their first decode), so -designs/-snapshot
+// do not apply here.
+func runWorker(addr string, shards, cache, workers, queue int, maxSchemes int, maxBody int64) {
+	cluster := engine.NewCluster(engine.ClusterConfig{
+		Shards: shards,
+		Shard: engine.Config{
+			CacheCapacity: cache,
+			Workers:       workers,
+			QueueDepth:    queue,
+		},
+	})
+	defer cluster.Close()
+	ws := remote.NewServer(cluster, remote.ServerOptions{MaxSchemes: maxSchemes, MaxBody: maxBody})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           ws.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := serveUntilSignal(httpSrv)
+	fmt.Fprintf(os.Stderr, "pooledd: worker listening on %s (%d shards x %d workers)\n",
+		addr, cluster.Shards(), cluster.Shard(0).Workers())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// serveUntilSignal installs the SIGINT/SIGTERM graceful-shutdown hook
+// and returns the channel closed once shutdown completed.
+func serveUntilSignal(httpSrv *http.Server) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: shutdown: %v\n", err)
+		}
+	}()
+	return done
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseWeights parses the -tenant-weights form "t1=3,t2=1".
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range splitList(s) {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q, want tenant=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad tenant weight %q: want a positive integer", part)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

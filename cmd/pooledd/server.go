@@ -15,6 +15,7 @@ import (
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
 	"pooleddata/internal/noise"
+	"pooleddata/internal/remote"
 )
 
 // server is the HTTP front-end over the sharded reconstruction cluster.
@@ -123,12 +124,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // rejectSaturated writes the admission-control response: 429 with a
 // Retry-After estimated from the shard's current backlog and mean
 // decode time (at least one second).
-func rejectSaturated(w http.ResponseWriter, shard *engine.Engine) {
+func rejectSaturated(w http.ResponseWriter, shard engine.Shard) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shard)))
 	httpError(w, http.StatusTooManyRequests, "decode queue saturated, retry later")
 }
 
-func retryAfterSeconds(shard *engine.Engine) int {
+func retryAfterSeconds(shard engine.Shard) int {
 	st := shard.Stats()
 	if st.JobsCompleted == 0 {
 		return 1
@@ -418,7 +419,9 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 // decodeStatus maps pipeline errors to HTTP statuses.
 func decodeStatus(err error) int {
 	switch {
-	case errors.Is(err, engine.ErrClosed):
+	case errors.Is(err, engine.ErrClosed), errors.Is(err, remote.ErrWorkerUnavailable):
+		// A dead remote worker is an infrastructure outage, not a problem
+		// with the request.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, engine.ErrSaturated):
 		return http.StatusTooManyRequests

@@ -25,8 +25,9 @@ func snapCluster(t *testing.T) *engine.Cluster {
 func TestSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "specs.json")
 
-	// First life: register two parametric schemes, one ad-hoc upload (to
-	// be skipped), and write the snapshot.
+	// First life: register two parametric schemes and one ad-hoc upload
+	// (persisted as a labio CSV next to the spec file), and write the
+	// snapshot.
 	c1 := snapCluster(t)
 	srv1 := newServer(c1, campaign.Config{})
 	t.Cleanup(srv1.campaigns.Close)
@@ -64,16 +65,39 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 	srv2.mu.Lock()
 	n := len(srv2.schemes)
+	var restoredAdhoc *schemeEntry
+	for _, ent := range srv2.schemes {
+		if ent.AdHoc {
+			restoredAdhoc = ent
+		}
+	}
 	srv2.mu.Unlock()
-	if n != 2 {
-		t.Fatalf("restored %d schemes, want 2 (ad-hoc uploads skipped); log:\n%s", n, log.String())
+	if n != 3 {
+		t.Fatalf("restored %d schemes, want 3 (2 parametric + 1 ad-hoc); log:\n%s", n, log.String())
 	}
 	cached := 0
 	for i := 0; i < c2.Shards(); i++ {
 		cached += c2.Shard(i).CachedSchemes()
 	}
 	if cached != 2 {
-		t.Fatalf("shard caches hold %d schemes, want 2", cached)
+		t.Fatalf("shard caches hold %d schemes, want 2 (ad-hoc uploads are uncached)", cached)
+	}
+
+	// The ad-hoc design round-trips bit-identically through the designs
+	// directory.
+	if restoredAdhoc == nil {
+		t.Fatalf("no ad-hoc scheme restored; log:\n%s", log.String())
+	}
+	var restoredCSV bytes.Buffer
+	if err := labio.WriteDesign(&restoredCSV, restoredAdhoc.scheme.G); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restoredCSV.Bytes(), csv.Bytes()) {
+		t.Fatal("restored ad-hoc design differs from the uploaded one")
+	}
+	files, err := os.ReadDir(designsDir(path))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("designs dir: files=%v err=%v, want exactly one CSV", files, err)
 	}
 
 	// The rebuilt scheme is the same design: a repeat request is a cache
@@ -140,5 +164,27 @@ func TestLoadSnapshotMissingAndCorrupt(t *testing.T) {
 	}
 	if log.Len() == 0 {
 		t.Fatal("skipped entry not logged")
+	}
+
+	// Ad-hoc entries whose CSV is gone (or whose file field escapes the
+	// designs directory) fail soft too.
+	adhoc := filepath.Join(t.TempDir(), "adhoc.json")
+	body := `[{"design":"uploaded","n":10,"m":5,"ad_hoc":true,"file":"gone.csv"},` +
+		`{"design":"uploaded","n":10,"m":5,"ad_hoc":true,"file":"../escape.csv"}]`
+	if err := os.WriteFile(adhoc, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	if err := loadSnapshot(c, srv, adhoc, &log); err != nil {
+		t.Fatalf("soft-fail ad-hoc entries: %v", err)
+	}
+	srv.mu.Lock()
+	n := len(srv.schemes)
+	srv.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("registered %d schemes from broken ad-hoc entries, want 0", n)
+	}
+	if log.Len() == 0 {
+		t.Fatal("broken ad-hoc entries not logged")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/noise"
+	"pooleddata/internal/remote"
 )
 
 // This file is the public face of the reconstruction cluster
@@ -40,6 +41,17 @@ type EngineOptions struct {
 	// TenantMaxQueued bounds unsettled campaign jobs per tenant; 0 means
 	// unlimited.
 	TenantMaxQueued int
+	// TenantWeights sets per-tenant dispatch weights for StartCampaign's
+	// weighted fair queuing: a tenant with weight w is offered up to w
+	// jobs per rotation turn. Unlisted tenants weigh 1 (equal turns).
+	TenantWeights map[string]int
+	// RemoteWorkers federates the engine across machines: a non-empty
+	// list of `pooledd -worker` addresses (host:port) makes every shard
+	// a remote client, one per address — schemes build locally (the
+	// frontend keeps the graphs) and decode jobs run on the workers,
+	// with health probes and bounded retry-then-fail failover. Shards,
+	// CacheCapacity, Workers, and QueueDepth are ignored in this mode.
+	RemoteWorkers []string
 }
 
 // EngineStats is a snapshot of an Engine's counters.
@@ -103,6 +115,11 @@ type ShardStats struct {
 	QueueDepth, QueueCapacity, Workers int
 	// CachedSchemes counts the shard's resident schemes.
 	CachedSchemes int
+	// Healthy is always true for local shards; remote shards report
+	// their probe state. Addr is the worker address, empty for local
+	// shards.
+	Healthy bool
+	Addr    string
 
 	SchemesBuilt, CacheHits, Evictions         uint64
 	JobsSubmitted, JobsCompleted, JobsRejected uint64
@@ -138,21 +155,32 @@ type Engine struct {
 	campaigns *campaign.Store
 }
 
-// NewEngine starts an engine cluster.
+// NewEngine starts an engine cluster — local shards, or remote shard
+// clients when RemoteWorkers is set.
 func NewEngine(opts EngineOptions) *Engine {
-	inner := engine.NewCluster(engine.ClusterConfig{
-		Shards: opts.Shards,
-		Shard: engine.Config{
-			CacheCapacity: opts.CacheCapacity,
-			Workers:       opts.Workers,
-			QueueDepth:    opts.QueueDepth,
-		},
-	})
+	var inner *engine.Cluster
+	if len(opts.RemoteWorkers) > 0 {
+		shards := make([]engine.Shard, len(opts.RemoteWorkers))
+		for i, addr := range opts.RemoteWorkers {
+			shards[i] = remote.New(remote.Options{Addr: addr})
+		}
+		inner = engine.NewClusterOf(shards...)
+	} else {
+		inner = engine.NewCluster(engine.ClusterConfig{
+			Shards: opts.Shards,
+			Shard: engine.Config{
+				CacheCapacity: opts.CacheCapacity,
+				Workers:       opts.Workers,
+				QueueDepth:    opts.QueueDepth,
+			},
+		})
+	}
 	return &Engine{
 		inner: inner,
 		campaigns: campaign.NewStore(inner, campaign.Config{
 			TenantMaxActive: opts.TenantMaxActive,
 			TenantMaxQueued: opts.TenantMaxQueued,
+			TenantWeights:   opts.TenantWeights,
 		}),
 	}
 }
@@ -204,6 +232,8 @@ func (e *Engine) Stats() EngineStats {
 			QueueCapacity: sh.QueueCapacity,
 			Workers:       sh.Workers,
 			CachedSchemes: sh.CachedSchemes,
+			Healthy:       sh.Healthy,
+			Addr:          sh.Addr,
 			SchemesBuilt:  sh.SchemesBuilt,
 			CacheHits:     sh.CacheHits,
 			Evictions:     sh.Evictions,

@@ -57,6 +57,12 @@ type Config struct {
 	// TenantMaxQueued bounds unsettled jobs per tenant — jobs admitted
 	// but not yet completed, failed, or canceled; 0 means unbounded.
 	TenantMaxQueued int
+	// TenantWeights sets per-tenant dispatch weights for weighted fair
+	// queuing: a tenant with weight w is offered up to w jobs per
+	// rotation turn instead of 1, so paying tenants drain faster without
+	// starving anyone. Tenants absent from the map (and weights < 1)
+	// default to 1, which keeps dispatch the equal-turn round robin.
+	TenantWeights map[string]int
 }
 
 func (c Config) maxActive() int {
@@ -152,9 +158,10 @@ type Campaign struct {
 	cancel context.CancelFunc
 
 	// Store hooks, invoked without mu held: onSettled after every job
-	// settles (tenant accounting), onCancel after Cancel (purging the
-	// campaign's undispatched jobs from the tenant queue).
-	onSettled func()
+	// settles (tenant quota accounting plus, for completed jobs, the
+	// per-tenant decode-latency histogram), onCancel after Cancel
+	// (purging the campaign's undispatched jobs from the tenant queue).
+	onSettled func(decodeNS int64, completed bool)
 	onCancel  func()
 
 	mu            sync.Mutex
@@ -265,7 +272,7 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	cp.mu.Unlock()
 
 	if releaseQuota && cp.onSettled != nil {
-		cp.onSettled()
+		cp.onSettled(jr.DecodeNS, err == nil)
 	}
 }
 
@@ -414,12 +421,17 @@ type Store struct {
 	cluster *engine.Cluster
 	cfg     Config
 
+	// latency holds the per-tenant decode-latency histograms served in
+	// /v1/stats; bounded because tenant names are caller-controlled.
+	latency *engine.LatencySet
+
 	mu           sync.Mutex
 	nextID       int
 	byID         map[string]*Campaign
 	tenants      map[string]*tenantState
 	rr           []string // tenant rotation order for fair dispatch
 	rrPos        int
+	rrCredits    int // weighted turns left for the tenant at rrPos; <0 = uninitialized
 	pendingTotal int
 	closed       bool
 
@@ -443,13 +455,15 @@ func NewStore(cluster *engine.Cluster, cfg Config) *Store {
 // it to observe the pending queues deterministically.
 func newStore(cluster *engine.Cluster, cfg Config) *Store {
 	return &Store{
-		cluster: cluster,
-		cfg:     cfg,
-		byID:    make(map[string]*Campaign),
-		tenants: make(map[string]*tenantState),
-		wake:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cluster:   cluster,
+		cfg:       cfg,
+		latency:   engine.NewLatencySet(64),
+		byID:      make(map[string]*Campaign),
+		tenants:   make(map[string]*tenantState),
+		rrCredits: -1,
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -536,7 +550,7 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 		cancel:  cancel,
 		changed: make(chan struct{}),
 	}
-	cp.onSettled = func() { st.jobSettled(tenant) }
+	cp.onSettled = func(decodeNS int64, completed bool) { st.jobSettled(tenant, decodeNS, completed) }
 	cp.onCancel = func() { st.purgeCanceled(cp) }
 	st.byID[cp.id] = cp
 
@@ -715,5 +729,8 @@ func (st *Store) pruneTenantsLocked() {
 			}
 		}
 		st.rr = rr
+		// Positions shifted; the cursor may now point at a different
+		// tenant, so its remaining turn credits are stale.
+		st.rrCredits = -1
 	}
 }

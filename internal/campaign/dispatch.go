@@ -137,6 +137,9 @@ func (st *Store) tenantLocked(name string) *tenantState {
 		ts = &tenantState{}
 		st.tenants[name] = ts
 		st.rr = append(st.rr, name)
+		// Growing the rotation re-maps rrPos onto a possibly different
+		// tenant; leftover mid-turn credits must not transfer to it.
+		st.rrCredits = -1
 	}
 	return ts
 }
@@ -150,13 +153,35 @@ func (st *Store) signalWake() {
 }
 
 // jobSettled is the Campaign → Store accounting hook, called once per
-// settled job without any campaign lock held.
-func (st *Store) jobSettled(tenant string) {
+// settled job without any campaign lock held: it returns the job's
+// quota and, for completed jobs, feeds the tenant's decode-latency
+// histogram (its own lock, not st.mu — it runs on engine workers).
+func (st *Store) jobSettled(tenant string, decodeNS int64, completed bool) {
+	if completed {
+		st.latency.Observe(tenant, time.Duration(decodeNS))
+	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if ts, ok := st.tenants[tenant]; ok && ts.unsettled > 0 {
 		ts.unsettled--
 	}
+}
+
+// weightOf is the tenant's dispatch weight: jobs offered per rotation
+// turn. Unconfigured tenants (and weights below 1) weigh 1.
+func (st *Store) weightOf(tenant string) int {
+	if w := st.cfg.TenantWeights[tenant]; w > 1 {
+		return w
+	}
+	return 1
+}
+
+// advanceTenantLocked moves the rotation to the next tenant and resets
+// the turn credits to "uninitialized" (looked up on arrival, so weight
+// config applies even to tenants that appear mid-rotation).
+func (st *Store) advanceTenantLocked() {
+	st.rrPos++
+	st.rrCredits = -1
 }
 
 // purgeCanceled pulls a canceled campaign's undispatched jobs out of
@@ -186,23 +211,36 @@ func (st *Store) purgeCanceled(cp *Campaign) {
 	}
 }
 
-// nextPending pops the next job in the two-level rotation (tenants,
-// then the tenant's shards).
+// nextPending pops the next job in the two-level weighted rotation
+// (tenants, then the tenant's shards): the tenant at the rotation
+// cursor is offered up to weightOf(tenant) jobs before the cursor
+// advances, so `-tenant-weights t1=3` drains t1 three jobs per turn.
+// With all weights 1 this is exactly the old equal-turn round robin.
 func (st *Store) nextPending() (pj pendingJob, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.pendingTotal == 0 || len(st.rr) == 0 {
 		return pendingJob{}, false
 	}
-	for i := 0; i < len(st.rr); i++ {
+	// Each iteration either pops (and returns) or advances past a tenant
+	// with nothing pending, so len(rr)+1 iterations suffice.
+	for i := 0; i < len(st.rr)+1; i++ {
 		name := st.rr[st.rrPos%len(st.rr)]
-		st.rrPos++
 		ts := st.tenants[name]
 		if ts == nil || ts.pendingLen() == 0 {
+			st.advanceTenantLocked()
 			continue
 		}
+		if st.rrCredits < 0 {
+			st.rrCredits = st.weightOf(name)
+		}
 		st.pendingTotal--
-		return ts.pop(), true
+		pj = ts.pop()
+		st.rrCredits--
+		if st.rrCredits == 0 {
+			st.advanceTenantLocked()
+		}
+		return pj, true
 	}
 	return pendingJob{}, false
 }
@@ -321,10 +359,17 @@ type TenantStats struct {
 	// decoders (the TenantMaxQueued quota gauge).
 	PendingJobs   int `json:"pending_jobs"`
 	UnsettledJobs int `json:"unsettled_jobs"`
+	// Weight is the tenant's dispatch weight (jobs per rotation turn).
+	Weight int `json:"weight"`
+	// DecodeLatency is the tenant's completed-job decode-latency
+	// histogram — same bounded buckets as the per-decoder histograms,
+	// cumulative over the store's lifetime (it outlives campaign GC).
+	DecodeLatency *engine.LatencyHistogram `json:"decode_latency,omitempty"`
 }
 
 // Tenants snapshots the per-tenant gauges.
 func (st *Store) Tenants() map[string]TenantStats {
+	lat := st.latency.Snapshot()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := make(map[string]TenantStats, len(st.tenants))
@@ -339,6 +384,18 @@ func (st *Store) Tenants() map[string]TenantStats {
 			g.Finished++
 		}
 		out[cp.tenant] = g
+	}
+	// Latency histograms outlive campaign retention: tenants present
+	// only in the histogram map still appear, with zero gauges.
+	for name, h := range lat {
+		g := out[name]
+		hh := h
+		g.DecodeLatency = &hh
+		out[name] = g
+	}
+	for name, g := range out {
+		g.Weight = st.weightOf(name)
+		out[name] = g
 	}
 	return out
 }

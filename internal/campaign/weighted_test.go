@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWeightedPopOrder: a weight-3 tenant is offered three jobs per
+// rotation turn; weight-1 tenants keep their single turn. With no
+// weights configured the rotation is the old equal-turn round robin.
+func TestWeightedPopOrder(t *testing.T) {
+	c := testCluster(t, 1, 1, 64)
+	st := newStore(c, Config{TenantWeights: map[string]int{"heavy": 3}}) // no dispatcher
+	const n, k, m, batch = 300, 5, 240, 8
+	s, _, ys := testBatch(t, c, n, k, m, batch, 3)
+
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Tenant: "heavy"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Tenant: "light"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	for {
+		pj, ok := st.nextPending()
+		if !ok {
+			break
+		}
+		order = append(order, pj.cp.Tenant())
+	}
+	if len(order) != 2*batch {
+		t.Fatalf("popped %d jobs, want %d", len(order), 2*batch)
+	}
+	want := []string{
+		"heavy", "heavy", "heavy", "light",
+		"heavy", "heavy", "heavy", "light",
+		"heavy", "heavy", "light", // heavy runs dry mid-turn
+		"light", "light", "light", "light", "light",
+	}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("pop %d = %q, want %q (full order %v)", i, order[i], w, order)
+		}
+	}
+}
+
+// TestEqualWeightsKeepRoundRobin guards the default: without configured
+// weights the rotation alternates tenants one job per turn.
+func TestEqualWeightsKeepRoundRobin(t *testing.T) {
+	c := testCluster(t, 1, 1, 64)
+	st := newStore(c, Config{})
+	const n, k, m, batch = 300, 5, 240, 4
+	s, _, ys := testBatch(t, c, n, k, m, batch, 3)
+	for _, tenant := range []string{"a", "b"} {
+		if _, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Tenant: tenant}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []string
+	for {
+		pj, ok := st.nextPending()
+		if !ok {
+			break
+		}
+		order = append(order, pj.cp.Tenant())
+	}
+	for i, w := range []string{"a", "b", "a", "b", "a", "b", "a", "b"} {
+		if order[i] != w {
+			t.Fatalf("pop %d = %q, want %q (full order %v)", i, order[i], w, order)
+		}
+	}
+}
+
+// TestTenantLatencyHistogram: completed jobs feed the per-tenant
+// decode-latency histogram surfaced by Tenants(), with the same bucket
+// shape as the engine's, and the histogram survives campaign GC.
+func TestTenantLatencyHistogram(t *testing.T) {
+	c := testCluster(t, 2, 2, 0)
+	st := NewStore(c, Config{Retention: time.Millisecond, TenantWeights: map[string]int{"t1": 2}})
+	defer st.Close()
+	const n, k, m, batch = 300, 5, 240, 6
+	s, _, ys := testBatch(t, c, n, k, m, batch, 3)
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Tenant: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := cp.Wait(context.Background(), 20*time.Millisecond)
+		if p.Terminal() && p.Settled() == p.Total {
+			if p.Failed != 0 {
+				t.Fatalf("progress: %+v", p)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign did not finish")
+		}
+	}
+	g := st.Tenants()["t1"]
+	if g.Weight != 2 {
+		t.Fatalf("weight = %d, want 2", g.Weight)
+	}
+	if g.DecodeLatency == nil {
+		t.Fatal("no per-tenant decode-latency histogram")
+	}
+	if g.DecodeLatency.Count != batch {
+		t.Fatalf("histogram count = %d, want %d", g.DecodeLatency.Count, batch)
+	}
+	if len(g.DecodeLatency.Counts) != len(g.DecodeLatency.BucketUpperNS)+1 {
+		t.Fatal("histogram shape differs from the per-decoder histograms")
+	}
+
+	// GC reaps the finished campaign; the latency histogram is a
+	// cumulative service counter and must survive.
+	time.Sleep(2 * time.Millisecond)
+	st.GC(time.Now())
+	g = st.Tenants()["t1"]
+	if g.DecodeLatency == nil || g.DecodeLatency.Count != batch {
+		t.Fatalf("histogram lost across GC: %+v", g.DecodeLatency)
+	}
+	if g.Active != 0 || g.Finished != 0 {
+		t.Fatalf("campaign gauges after GC: %+v", g)
+	}
+}

@@ -36,33 +36,5 @@ func (e *Engine) MeasureBatch(s *Scheme, signals []*bitvec.Vector, nm noise.Mode
 // job has settled, alongside the partial results (failed slots are
 // zero).
 func (e *Engine) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int, job Job) ([]Result, error) {
-	futs := make([]*Future, len(ys))
-	results := make([]Result, len(ys))
-	var firstErr error
-	for b, y := range ys {
-		j := job
-		j.Scheme, j.Y, j.K = s, y, k
-		fut, err := e.Submit(ctx, j)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			break
-		}
-		futs[b] = fut
-	}
-	for b, fut := range futs {
-		if fut == nil {
-			continue
-		}
-		res, err := fut.Wait(ctx)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		results[b] = res
-	}
-	return results, firstErr
+	return decodeBatchOn(e, ctx, s, ys, k, job)
 }

@@ -52,6 +52,14 @@ type Scheme struct {
 // scheme came from a standalone Engine).
 func (s *Scheme) Home() int { return s.home }
 
+// NewSchemeAt wraps a prebuilt graph as a scheme owned by cluster shard
+// home — the constructor alternative Shard implementations (the remote
+// shard client) use so the schemes they hand out route back to them
+// inside a Cluster. spec may be zero for ad-hoc designs.
+func NewSchemeAt(spec Spec, g *graph.Bipartite, home int) *Scheme {
+	return &Scheme{Spec: spec, G: g, home: home}
+}
+
 // Ext returns the caller-side wrapper attached to this scheme, creating
 // it with make on first use. Front-ends (the public pooled.Engine) use it
 // to keep cache hits pointer-identical across their own wrapper types;

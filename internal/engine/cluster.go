@@ -13,7 +13,66 @@ import (
 	"pooleddata/internal/pooling"
 )
 
-// ClusterConfig sizes a Cluster.
+// Shard is one shard of the reconstruction fleet: the surface campaign
+// dispatch, the pooledd front-end, and the cluster router need from a
+// scheme-cache-plus-decode-pipeline, whether it runs in this process or
+// on another machine. *Engine implements it in-process; internal/remote
+// implements it over HTTP against a `pooledd -worker`, so a Cluster
+// composes local and remote shards transparently — Job.Tag/OnDone
+// fan-out, noise-model decoder selection, and ErrSaturated backpressure
+// all work unchanged across the boundary.
+type Shard interface {
+	// Scheme returns the shard's cached scheme for the design instance,
+	// building it at most once per spec.
+	Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, error)
+	// SchemeFromGraph wraps a prebuilt ad-hoc design (an uploaded labio
+	// CSV) as a scheme owned by this shard.
+	SchemeFromGraph(g *graph.Bipartite) *Scheme
+	// InstallScheme installs a prebuilt design under spec — the
+	// warm-start path for design files loaded at boot.
+	InstallScheme(spec Spec, g *graph.Bipartite) *Scheme
+
+	// Submit enqueues a decode job, blocking while the queue is full.
+	// TrySubmit and Offer are its admission-controlled forms: a full
+	// queue returns ErrSaturated immediately, with (TrySubmit) and
+	// without (Offer) the rejection accounting.
+	Submit(ctx context.Context, job Job) (*Future, error)
+	TrySubmit(ctx context.Context, job Job) (*Future, error)
+	Offer(ctx context.Context, job Job) (*Future, error)
+
+	// MeasureBatch evaluates the signals against the scheme under the
+	// noise model (zero model: exact counts).
+	MeasureBatch(s *Scheme, signals []*bitvec.Vector, nm noise.Model) [][]int64
+
+	// Saturated reports whether the decode queue is full right now — the
+	// batch admission-control signal. NoteRejected records rejections a
+	// caller decided on that signal.
+	Saturated() bool
+	NoteRejected(n int)
+
+	// Live gauges for stats and admission heuristics.
+	QueueDepth() int
+	QueueCapacity() int
+	Workers() int
+	CachedSchemes() int
+
+	// Healthy reports whether the shard can take work — always true for
+	// local shards; remote shards report their probe state. Addr is the
+	// shard's remote address, empty for local shards.
+	Healthy() bool
+	Addr() string
+
+	Stats() Stats
+	Close()
+}
+
+// HomeSetter is implemented by shards that stamp an owning-shard index
+// on the schemes they create (both *Engine and the remote client do).
+// NewClusterOf calls it with each shard's position so Scheme.Home
+// routing works for any Shard implementation.
+type HomeSetter interface{ SetHome(i int) }
+
+// ClusterConfig sizes a Cluster of local engine shards.
 type ClusterConfig struct {
 	// Shards is the number of engine shards; 0 means 1.
 	Shards int
@@ -31,7 +90,7 @@ func (c ClusterConfig) shards() int {
 	return c.Shards
 }
 
-// Cluster shards the reconstruction engine: N independent Engines, each
+// Cluster shards the reconstruction engine: N independent Shards, each
 // with its own scheme cache and decode worker pool. Schemes are routed
 // to the owning shard by an FNV-1a hash of the canonical spec key
 // (design, n, m, seed), so one tenant's design can never evict another
@@ -42,12 +101,14 @@ func (c ClusterConfig) shards() int {
 // A Cluster exposes the same operational surface as a single Engine
 // (Scheme, Submit, Decode, DecodeBatch, MeasureBatch, Stats, Close);
 // jobs carry their scheme, and the scheme remembers its owning shard.
+// Shards may live in this process (NewCluster) or on other machines
+// behind the Shard interface (NewClusterOf with remote shard clients).
 type Cluster struct {
-	shards []*Engine
+	shards []Shard
 	next   atomic.Uint64 // round-robin placement of ad-hoc schemes
 }
 
-// NewCluster starts cfg.Shards engine shards.
+// NewCluster starts cfg.Shards local engine shards.
 func NewCluster(cfg ClusterConfig) *Cluster {
 	if cfg.Shard.Workers <= 0 {
 		w := runtime.GOMAXPROCS(0) / cfg.shards()
@@ -56,13 +117,27 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		}
 		cfg.Shard.Workers = w
 	}
-	c := &Cluster{shards: make([]*Engine, cfg.shards())}
-	for i := range c.shards {
-		e := New(cfg.Shard)
-		e.cache.home = i // before first use: schemes stamp their owner
-		c.shards[i] = e
+	shards := make([]Shard, cfg.shards())
+	for i := range shards {
+		shards[i] = New(cfg.Shard)
 	}
-	return c
+	return NewClusterOf(shards...)
+}
+
+// NewClusterOf assembles a cluster over preconstructed shards — local
+// engines, remote shard clients, or a mix. Each shard is told its index
+// (via HomeSetter) before first use, so the schemes it creates route
+// back to it.
+func NewClusterOf(shards ...Shard) *Cluster {
+	if len(shards) == 0 {
+		panic("engine: NewClusterOf with no shards")
+	}
+	for i, sh := range shards {
+		if hs, ok := sh.(HomeSetter); ok {
+			hs.SetHome(i)
+		}
+	}
+	return &Cluster{shards: shards}
 }
 
 // Close closes every shard, draining their queues.
@@ -76,7 +151,7 @@ func (c *Cluster) Close() {
 func (c *Cluster) Shards() int { return len(c.shards) }
 
 // Shard returns shard i (stats, tests, warm-start logging).
-func (c *Cluster) Shard(i int) *Engine { return c.shards[i] }
+func (c *Cluster) Shard(i int) Shard { return c.shards[i] }
 
 // ShardOf reports the index of the shard owning spec: an FNV-1a hash of
 // the canonical spec key modulo the shard count.
@@ -93,7 +168,7 @@ func shardIndex(spec Spec, n int) int {
 
 // Owner returns the shard that owns s. Schemes from outside the cluster
 // (a standalone Engine, a zero wrapper) fall back to shard 0.
-func (c *Cluster) Owner(s *Scheme) *Engine {
+func (c *Cluster) Owner(s *Scheme) Shard {
 	i := s.home
 	if i < 0 || i >= len(c.shards) {
 		i = 0
@@ -116,9 +191,7 @@ func (c *Cluster) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, er
 // fleet.
 func (c *Cluster) SchemeFromGraph(g *graph.Bipartite) *Scheme {
 	i := int((c.next.Add(1) - 1) % uint64(len(c.shards)))
-	s := c.shards[i].SchemeFromGraph(g)
-	s.home = i // before the scheme is published
-	return s
+	return c.shards[i].SchemeFromGraph(g)
 }
 
 // InstallScheme warm-starts the owning shard's cache with a prebuilt
@@ -159,12 +232,54 @@ func (c *Cluster) Decode(ctx context.Context, job Job) (Result, error) {
 	if err := validateJob(job); err != nil {
 		return Result{}, err
 	}
-	return c.Owner(job.Scheme).Decode(ctx, job)
+	fut, err := c.Owner(job.Scheme).Submit(ctx, job)
+	if err != nil {
+		return Result{}, err
+	}
+	return fut.Wait(ctx)
 }
 
-// DecodeBatch pipelines the batch through the scheme's owning shard.
+// DecodeBatch pipelines one decode job per count vector through the
+// scheme's owning shard and waits for all of them. The job template's
+// Noise and Dec fields apply to every job. Results are in input order;
+// the first decode error (or ctx error) is returned after every
+// submitted job has settled, alongside the partial results.
 func (c *Cluster) DecodeBatch(ctx context.Context, s *Scheme, ys [][]int64, k int, job Job) ([]Result, error) {
-	return c.Owner(s).DecodeBatch(ctx, s, ys, k, job)
+	return decodeBatchOn(c.Owner(s), ctx, s, ys, k, job)
+}
+
+// decodeBatchOn is the shared submit-all-then-wait-all batch loop of
+// Engine.DecodeBatch and Cluster.DecodeBatch.
+func decodeBatchOn(sh Shard, ctx context.Context, s *Scheme, ys [][]int64, k int, job Job) ([]Result, error) {
+	futs := make([]*Future, len(ys))
+	results := make([]Result, len(ys))
+	var firstErr error
+	for b, y := range ys {
+		j := job
+		j.Scheme, j.Y, j.K = s, y, k
+		fut, err := sh.Submit(ctx, j)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		futs[b] = fut
+	}
+	for b, fut := range futs {
+		if fut == nil {
+			continue
+		}
+		res, err := fut.Wait(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		results[b] = res
+	}
+	return results, firstErr
 }
 
 // MeasureBatch evaluates the signals on the scheme's owning shard under
@@ -181,6 +296,10 @@ type ShardStats struct {
 	QueueCapacity int `json:"queue_capacity"`
 	Workers       int `json:"workers"`
 	CachedSchemes int `json:"cached_schemes"`
+	// Healthy is always true for local shards; remote shards report
+	// their probe state. Addr is empty for local shards.
+	Healthy bool   `json:"healthy"`
+	Addr    string `json:"addr,omitempty"`
 }
 
 // ClusterStats aggregates the fleet: Total sums every shard's counters
@@ -203,6 +322,8 @@ func (c *Cluster) Stats() ClusterStats {
 			QueueCapacity: e.QueueCapacity(),
 			Workers:       e.Workers(),
 			CachedSchemes: e.CachedSchemes(),
+			Healthy:       e.Healthy(),
+			Addr:          e.Addr(),
 		}
 		cs.Total.add(st)
 	}

@@ -252,6 +252,29 @@ func (e *Engine) NoteRejected(n int) { e.stats.jobsRejected.Add(uint64(n)) }
 // Workers reports the decode worker-pool size.
 func (e *Engine) Workers() int { return e.cfg.workers() }
 
+// Healthy is always true for a local engine shard (the Shard interface
+// form of "in this process, reachable by definition").
+func (e *Engine) Healthy() bool { return true }
+
+// Addr is empty for local shards.
+func (e *Engine) Addr() string { return "" }
+
+// SetHome assigns the cluster shard index stamped on every scheme this
+// engine creates, so cluster routing (Scheme.Home) finds its way back.
+// Must be called before the engine hands out schemes; NewClusterOf does
+// it at assembly.
+func (e *Engine) SetHome(i int) { e.cache.home = i }
+
+// Engine is the in-process Shard implementation.
+var _ Shard = (*Engine)(nil)
+var _ HomeSetter = (*Engine)(nil)
+
+// ValidateJob reports whether job is well-formed (scheme present, count
+// length matching the design, weight in range, valid noise model) — the
+// same check the cluster and pipeline run, exported for alternative
+// Shard implementations.
+func ValidateJob(job Job) error { return validateJob(job) }
+
 // CachedSchemes reports the number of cached (or in-flight) schemes.
 func (e *Engine) CachedSchemes() int { return e.cache.len() }
 

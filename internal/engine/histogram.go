@@ -136,6 +136,26 @@ func (s *histogramSet) get(name string) *histogram {
 	return h
 }
 
+// LatencySet is the exported form of histogramSet: a bounded, named
+// collection of latency histograms sharing the engine's bucket edges,
+// for subsystems outside the engine that serve the same histogram shape
+// (the campaign store's per-tenant decode latencies). Past limit
+// distinct keys, observations collapse into the "other" key; limit 0
+// means unbounded. Safe for concurrent use.
+type LatencySet struct{ set histogramSet }
+
+// NewLatencySet creates a LatencySet retaining at most limit keys.
+func NewLatencySet(limit int) *LatencySet {
+	return &LatencySet{set: histogramSet{limit: limit}}
+}
+
+// Observe records one latency under key.
+func (s *LatencySet) Observe(key string, d time.Duration) { s.set.get(key).observe(d) }
+
+// Snapshot returns the current histograms keyed by name (nil when
+// nothing has been observed).
+func (s *LatencySet) Snapshot() map[string]LatencyHistogram { return s.set.snapshot() }
+
 func (s *histogramSet) snapshot() map[string]LatencyHistogram {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

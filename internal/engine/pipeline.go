@@ -114,6 +114,18 @@ func (f *Future) Wait(ctx context.Context) (Result, error) {
 	}
 }
 
+// NewFuture returns an unresolved Future for job plus the single-use
+// settle function that completes it — the adapter remote shard clients
+// use to fan RPC completions back into the local Future/OnDone surface.
+// settle stamps the job's Tag on the result, completes the future, and
+// then fires the job's OnDone callback, in the same order as the worker
+// pipeline's settle path, so fan-out callers cannot tell a remote
+// settlement from a local one.
+func NewFuture(job Job) (fut *Future, settle func(Result, error)) {
+	t := &task{job: job, fut: &Future{done: make(chan struct{})}}
+	return t.fut, t.settle
+}
+
 // task is a queued job plus its bookkeeping.
 type task struct {
 	job      Job

@@ -1,0 +1,47 @@
+package remote
+
+import (
+	"context"
+	"testing"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/rng"
+)
+
+// BenchmarkRemoteShardDecode prices the federation hop: one decode
+// through a worker over httptest loopback (JSON + HTTP + the client
+// queue) against the same decode on a local shard. The delta is the
+// per-job wire overhead a deployment amortizes by batching campaigns.
+func BenchmarkRemoteShardDecode(b *testing.B) {
+	const n, m, k = 2000, 800, 10
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(5))
+
+	run := func(b *testing.B, cluster *engine.Cluster) {
+		b.Helper()
+		s, err := cluster.Scheme(nil, n, m, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := cluster.MeasureBatch(s, []*bitvec.Vector{sigma}, noise.Model{})[0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("local", func(b *testing.B) {
+		cluster := engine.NewCluster(engine.ClusterConfig{Shards: 1, Shard: engine.Config{Workers: 2}})
+		defer cluster.Close()
+		run(b, cluster)
+	})
+	b.Run("remote", func(b *testing.B) {
+		_, ts := newWorker(b, 1, 2, 0, ServerOptions{})
+		sh := New(fastOptions(ts.Listener.Addr().String()))
+		defer sh.Close()
+		run(b, engine.NewClusterOf(sh))
+	})
+}

@@ -1,0 +1,779 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/graph"
+	"pooleddata/internal/labio"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+)
+
+// ErrWorkerUnavailable marks jobs that failed because their worker was
+// unreachable (or kept failing past the retry budget). Campaign job
+// errors wrap it, so a dead worker's jobs are distinguishable from
+// decode failures.
+var ErrWorkerUnavailable = errors.New("remote: worker unavailable")
+
+// saturationWindow is how long a worker 429 keeps the client-side
+// Saturated signal raised, so admission checks fail fast instead of
+// re-probing a queue known to be full.
+const saturationWindow = 250 * time.Millisecond
+
+// statsTTL bounds how often Stats() refetches from the worker.
+const statsTTL = 500 * time.Millisecond
+
+// Options configures a remote shard client.
+type Options struct {
+	// Addr is the worker's host:port (or full http:// base URL).
+	Addr string
+	// QueueDepth bounds jobs buffered client-side awaiting a sender; a
+	// full queue returns ErrSaturated (the dispatcher's backpressure
+	// signal). 0 means 32.
+	QueueDepth int
+	// Senders is the number of concurrent request goroutines (sharing
+	// one connection-reusing http.Client). 0 means 4.
+	Senders int
+	// RequestTimeout is the per-request deadline of decode and install
+	// calls. 0 means 60s.
+	RequestTimeout time.Duration
+	// ProbeInterval is the health-probe period. 0 means 2s.
+	ProbeInterval time.Duration
+	// Retries is how many times a failed request is retried before the
+	// job settles with an error. 0 means 2; negative means none.
+	Retries int
+	// RetryBackoff is the base delay between retries (grows linearly
+	// with the attempt). 0 means 50ms.
+	RetryBackoff time.Duration
+	// MaxSchemes bounds the client-side scheme cache; evicted schemes
+	// are re-ensured on demand. 0 means 128.
+	MaxSchemes int
+	// BuildParallelism bounds goroutines per local design build.
+	BuildParallelism int
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth <= 0 {
+		return 32
+	}
+	return o.QueueDepth
+}
+
+func (o Options) senders() int {
+	if o.Senders <= 0 {
+		return 4
+	}
+	return o.Senders
+}
+
+func (o Options) requestTimeout() time.Duration {
+	if o.RequestTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return o.RequestTimeout
+}
+
+func (o Options) probeInterval() time.Duration {
+	if o.ProbeInterval <= 0 {
+		return 2 * time.Second
+	}
+	return o.ProbeInterval
+}
+
+func (o Options) retries() int {
+	if o.Retries == 0 {
+		return 2
+	}
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+func (o Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.RetryBackoff
+}
+
+func (o Options) maxSchemes() int {
+	if o.MaxSchemes <= 0 {
+		return 128
+	}
+	return o.MaxSchemes
+}
+
+// schemeState is the client-side record of one scheme: the local graph
+// (the frontend is the source of truth) plus whether the worker
+// currently has it installed.
+type schemeState struct {
+	spec   engine.Spec
+	id     string
+	ready  chan struct{} // build finished (spec schemes built via Scheme)
+	scheme *engine.Scheme
+	err    error
+
+	mu      sync.Mutex // serializes installs per scheme
+	ensured bool
+}
+
+func (st *schemeState) unensure() {
+	st.mu.Lock()
+	st.ensured = false
+	st.mu.Unlock()
+}
+
+// task is one queued decode awaiting a sender.
+type task struct {
+	job      engine.Job
+	ctx      context.Context
+	fut      *engine.Future
+	settle   func(engine.Result, error)
+	enqueued time.Time
+}
+
+// Shard is the client side of the shard protocol: an engine.Shard whose
+// decode pipeline lives in a `pooledd -worker` process. It is shaped
+// like a miniature engine — a bounded job queue drained by sender
+// goroutines — so admission control, backpressure, and Close semantics
+// match the local shard it stands in for. Safe for concurrent use.
+type Shard struct {
+	opts Options
+	base string
+	hc   *http.Client
+	home int
+
+	jobs chan *task
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed vs. in-flight submit sends
+	closed bool
+
+	healthy        atomic.Bool
+	saturatedUntil atomic.Int64 // unix nanos
+	gauges         atomic.Pointer[healthResponse]
+
+	statsMu   sync.Mutex
+	statsAt   time.Time
+	statsLast engine.Stats
+
+	// Client-side counters merged into Stats(): outcomes the worker
+	// never saw (local rejections, transport failures, cancellations).
+	jobsRejected    atomic.Uint64
+	jobsFailed      atomic.Uint64
+	jobsCanceled    atomic.Uint64
+	signalsMeasured atomic.Uint64
+
+	smu      sync.Mutex
+	bySpec   map[engine.Spec]*schemeState
+	byScheme map[*engine.Scheme]*schemeState
+	order    []*schemeState
+	instance int64
+	adhocSeq atomic.Uint64
+
+	stop      chan struct{}
+	probeDone chan struct{}
+}
+
+var _ engine.Shard = (*Shard)(nil)
+var _ engine.HomeSetter = (*Shard)(nil)
+
+// New starts a shard client against a worker address. The client
+// assumes the worker is reachable until the first probe says otherwise;
+// release its senders and probe with Close.
+func New(opts Options) *Shard {
+	base := opts.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	s := &Shard{
+		opts: opts,
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.senders() + 2,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		jobs:      make(chan *task, opts.queueDepth()),
+		bySpec:    make(map[engine.Spec]*schemeState),
+		byScheme:  make(map[*engine.Scheme]*schemeState),
+		instance:  time.Now().UnixNano(),
+		stop:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	s.healthy.Store(true)
+	for i := 0; i < opts.senders(); i++ {
+		s.wg.Add(1)
+		go s.sender()
+	}
+	go s.probeLoop()
+	return s
+}
+
+// SetHome assigns the cluster index stamped on this client's schemes
+// (NewClusterOf calls it at assembly).
+func (s *Shard) SetHome(i int) { s.home = i }
+
+// Addr reports the worker address this shard fronts.
+func (s *Shard) Addr() string { return s.opts.Addr }
+
+// Healthy reports the probe state: false after a dead-worker failure or
+// failed probe, true again once a probe succeeds.
+func (s *Shard) Healthy() bool { return s.healthy.Load() }
+
+// Close stops accepting jobs, lets the senders drain the queue (jobs
+// still settle — against the worker if it is up, with errors if not),
+// and stops the health probe.
+func (s *Shard) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	<-s.probeDone
+	s.hc.CloseIdleConnections()
+}
+
+// specID is the worker-side registry key of a spec scheme: stable
+// across frontends and restarts, so re-ensures are idempotent.
+func specID(spec engine.Spec) string {
+	return fmt.Sprintf("%s|%d|%d|%d", spec.Design, spec.N, spec.M, spec.Seed)
+}
+
+func (s *Shard) adhocID() string {
+	return fmt.Sprintf("adhoc-%d-%d", s.instance, s.adhocSeq.Add(1))
+}
+
+// Scheme builds the design locally (the frontend serves design CSVs and
+// validates jobs against the graph) and lazily ships it to the worker
+// before the first decode. Builds dedupe per spec like the engine
+// cache; repeat calls return the identical pointer.
+func (s *Shard) Scheme(des pooling.Design, n, m int, seed uint64) (*engine.Scheme, error) {
+	if des == nil {
+		des = pooling.RandomRegular{}
+	}
+	spec := engine.SpecFor(des, n, m, seed)
+	s.smu.Lock()
+	if st, ok := s.bySpec[spec]; ok {
+		s.smu.Unlock()
+		<-st.ready
+		return st.scheme, st.err
+	}
+	st := &schemeState{spec: spec, id: specID(spec), ready: make(chan struct{})}
+	s.bySpec[spec] = st
+	s.smu.Unlock()
+
+	g, err := des.Build(n, m, pooling.BuildOptions{Seed: seed, Parallelism: s.opts.BuildParallelism})
+	s.smu.Lock()
+	if err != nil {
+		st.err = err
+		if cur, ok := s.bySpec[spec]; ok && cur == st {
+			delete(s.bySpec, spec)
+		}
+	} else {
+		st.scheme = engine.NewSchemeAt(spec, g, s.home)
+		s.byScheme[st.scheme] = st
+		s.order = append(s.order, st)
+		s.evictLocked()
+	}
+	s.smu.Unlock()
+	close(st.ready)
+	return st.scheme, st.err
+}
+
+// SchemeFromGraph wraps an ad-hoc design; the graph ships to the worker
+// before its first decode under a client-unique id.
+func (s *Shard) SchemeFromGraph(g *graph.Bipartite) *engine.Scheme {
+	sc := engine.NewSchemeAt(engine.Spec{}, g, s.home)
+	st := &schemeState{id: s.adhocID(), ready: closedChan(), scheme: sc}
+	s.smu.Lock()
+	s.byScheme[sc] = st
+	s.order = append(s.order, st)
+	s.evictLocked()
+	s.smu.Unlock()
+	return sc
+}
+
+// InstallScheme registers a prebuilt design under spec (warm start);
+// the worker receives it lazily before the first decode.
+func (s *Shard) InstallScheme(spec engine.Spec, g *graph.Bipartite) *engine.Scheme {
+	sc := engine.NewSchemeAt(spec, g, s.home)
+	st := &schemeState{spec: spec, id: specID(spec), ready: closedChan(), scheme: sc}
+	s.smu.Lock()
+	s.bySpec[spec] = st
+	s.byScheme[sc] = st
+	s.order = append(s.order, st)
+	s.evictLocked()
+	s.smu.Unlock()
+	return sc
+}
+
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// evictLocked trims the client scheme cache; evicted schemes still work
+// if a caller kept one (stateFor rebuilds their record on demand, and
+// the worker is re-ensured idempotently).
+func (s *Shard) evictLocked() {
+	for len(s.order) > s.opts.maxSchemes() {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		if cur, ok := s.bySpec[victim.spec]; ok && cur == victim {
+			delete(s.bySpec, victim.spec)
+		}
+		if victim.scheme != nil {
+			delete(s.byScheme, victim.scheme)
+		}
+	}
+}
+
+// stateFor returns (rebuilding if evicted) the record of a scheme a job
+// carries. Schemes created by other shards or standalone engines get a
+// fresh record keyed by their spec (or a new ad-hoc id), so any scheme
+// with a graph can decode remotely.
+func (s *Shard) stateFor(sc *engine.Scheme) *schemeState {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if st, ok := s.byScheme[sc]; ok {
+		return st
+	}
+	id := s.adhocID()
+	if sc.Spec != (engine.Spec{}) {
+		id = specID(sc.Spec)
+	}
+	st := &schemeState{spec: sc.Spec, id: id, ready: closedChan(), scheme: sc}
+	s.byScheme[sc] = st
+	if sc.Spec != (engine.Spec{}) {
+		s.bySpec[sc.Spec] = st
+	}
+	s.order = append(s.order, st)
+	s.evictLocked()
+	return st
+}
+
+// MeasureBatch runs on the frontend — measurement is simulation-side
+// work against the locally-held graph, not something to ship counts
+// back and forth for.
+func (s *Shard) MeasureBatch(sc *engine.Scheme, signals []*bitvec.Vector, nm noise.Model) [][]int64 {
+	nm = nm.Canon()
+	var ys [][]int64
+	if nm.IsExact() {
+		ys = query.ExecuteBatch(sc.G, signals, runtime.GOMAXPROCS(0))
+	} else {
+		ys = query.ExecuteBatchNoisy(sc.G, signals, runtime.GOMAXPROCS(0), nm, nm.SignalSeeds(len(signals)))
+	}
+	s.signalsMeasured.Add(uint64(len(signals)))
+	return ys
+}
+
+type submitMode int
+
+const (
+	modeBlock submitMode = iota
+	modeTry
+	modeOffer
+)
+
+// Submit enqueues the job client-side, blocking while the queue is
+// full; a sender ships it to the worker and settles the Future.
+func (s *Shard) Submit(ctx context.Context, job engine.Job) (*engine.Future, error) {
+	return s.submit(ctx, job, modeBlock)
+}
+
+// TrySubmit is Submit with admission control: a full client queue (or a
+// worker that just answered 429) returns ErrSaturated and counts the
+// rejection.
+func (s *Shard) TrySubmit(ctx context.Context, job engine.Job) (*engine.Future, error) {
+	return s.submit(ctx, job, modeTry)
+}
+
+// Offer is TrySubmit without the rejection accounting — the campaign
+// dispatcher's cooperative-backpressure path.
+func (s *Shard) Offer(ctx context.Context, job engine.Job) (*engine.Future, error) {
+	return s.submit(ctx, job, modeOffer)
+}
+
+func (s *Shard) submit(ctx context.Context, job engine.Job, mode submitMode) (*engine.Future, error) {
+	if err := engine.ValidateJob(job); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A dead worker fails jobs promptly instead of queueing toward a
+	// timeout: the dispatcher settles them and campaigns terminate.
+	if !s.healthy.Load() {
+		return nil, s.unavailableErr(nil)
+	}
+	if mode != modeBlock && s.saturatedNow() {
+		if mode == modeTry {
+			s.jobsRejected.Add(1)
+		}
+		return nil, engine.ErrSaturated
+	}
+	fut, settle := engine.NewFuture(job)
+	t := &task{job: job, ctx: ctx, fut: fut, settle: settle, enqueued: time.Now()}
+
+	// Same locking discipline as engine.submit: the read lock spans the
+	// send so Close never closes the channel under a sender.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, engine.ErrClosed
+	}
+	if mode != modeBlock {
+		select {
+		case s.jobs <- t:
+			return fut, nil
+		default:
+			if mode == modeTry {
+				s.jobsRejected.Add(1)
+			}
+			return nil, engine.ErrSaturated
+		}
+	}
+	select {
+	case s.jobs <- t:
+		return fut, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Saturated reports client-queue fullness, a recent worker 429, or an
+// unhealthy worker — the batch admission signal the frontend turns into
+// 429 + Retry-After.
+func (s *Shard) Saturated() bool {
+	return len(s.jobs) == cap(s.jobs) || s.saturatedNow() || !s.healthy.Load()
+}
+
+// NoteRejected records admission rejections decided by a caller.
+func (s *Shard) NoteRejected(n int) { s.jobsRejected.Add(uint64(n)) }
+
+func (s *Shard) saturatedNow() bool {
+	return s.saturatedUntil.Load() > time.Now().UnixNano()
+}
+
+func (s *Shard) markSaturated() {
+	s.saturatedUntil.Store(time.Now().Add(saturationWindow).UnixNano())
+}
+
+// QueueDepth combines jobs waiting client-side with the worker's last
+// reported queue depth.
+func (s *Shard) QueueDepth() int { return len(s.jobs) + s.lastGauges().QueueDepth }
+
+// QueueCapacity combines the client queue bound with the worker's.
+func (s *Shard) QueueCapacity() int { return cap(s.jobs) + s.lastGauges().QueueCapacity }
+
+// Workers reports the worker's decode pool size (0 before the first
+// probe).
+func (s *Shard) Workers() int { return s.lastGauges().Workers }
+
+// CachedSchemes reports the worker's resident scheme count.
+func (s *Shard) CachedSchemes() int { return s.lastGauges().CachedSchemes }
+
+func (s *Shard) lastGauges() healthResponse {
+	if h := s.gauges.Load(); h != nil {
+		return *h
+	}
+	return healthResponse{}
+}
+
+// Stats fetches the worker's counters (cached briefly) and folds in the
+// client-side outcomes the worker never saw: local admission
+// rejections, transport-failed jobs, cancellations, and locally
+// measured signals.
+func (s *Shard) Stats() engine.Stats {
+	s.statsMu.Lock()
+	if time.Since(s.statsAt) > statsTTL && s.healthy.Load() {
+		if st, err := s.fetchStats(); err == nil {
+			s.statsLast = st
+			s.statsAt = time.Now()
+		}
+	}
+	st := s.statsLast
+	s.statsMu.Unlock()
+	st.JobsRejected += s.jobsRejected.Load()
+	st.JobsFailed += s.jobsFailed.Load()
+	st.JobsCanceled += s.jobsCanceled.Load()
+	st.SignalsMeasured += s.signalsMeasured.Load()
+	return st
+}
+
+func (s *Shard) fetchStats() (engine.Stats, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+statsPath, nil)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return engine.Stats{}, fmt.Errorf("remote: stats status %d", resp.StatusCode)
+	}
+	var st engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return engine.Stats{}, err
+	}
+	return st, nil
+}
+
+func (s *Shard) unavailableErr(cause error) error {
+	if cause != nil {
+		return fmt.Errorf("%w: %s: %v", ErrWorkerUnavailable, s.opts.Addr, cause)
+	}
+	return fmt.Errorf("%w: %s", ErrWorkerUnavailable, s.opts.Addr)
+}
+
+// sender drains the client queue until Close.
+func (s *Shard) sender() {
+	defer s.wg.Done()
+	for t := range s.jobs {
+		s.process(t)
+	}
+}
+
+// process ships one job to the worker with bounded
+// retry-then-fail-the-job semantics.
+func (s *Shard) process(t *task) {
+	clientWait := time.Since(t.enqueued)
+	stats := engine.JobStats{QueueWait: clientWait}
+	if err := t.ctx.Err(); err != nil {
+		s.jobsCanceled.Add(1)
+		t.settle(engine.Result{Stats: stats}, err)
+		return
+	}
+	st := s.stateFor(t.job.Scheme)
+	req := decodeRequest{Scheme: st.id, K: t.job.K, Y: t.job.Y, Noise: t.job.Noise.Canon().String()}
+	if t.job.Dec != nil {
+		req.Decoder = t.job.Dec.Name()
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		s.jobsFailed.Add(1)
+		t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: marshal job: %w", err))
+		return
+	}
+
+	attempts := s.opts.retries() + 1
+	var lastErr error
+	alive, saturated := false, false
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && !s.sleepBackoff(t.ctx, attempt) {
+			s.jobsCanceled.Add(1)
+			t.settle(engine.Result{Stats: stats}, t.ctx.Err())
+			return
+		}
+		if err := s.ensure(t.ctx, st); err != nil {
+			if t.ctx.Err() != nil {
+				s.jobsCanceled.Add(1)
+				t.settle(engine.Result{Stats: stats}, t.ctx.Err())
+				return
+			}
+			lastErr, alive, saturated = err, false, false
+			continue
+		}
+		status, out, errMsg, err := s.postDecode(t.ctx, payload)
+		if err != nil {
+			if t.ctx.Err() != nil {
+				s.jobsCanceled.Add(1)
+				t.settle(engine.Result{Stats: stats}, t.ctx.Err())
+				return
+			}
+			lastErr, alive, saturated = err, false, false
+			continue
+		}
+		alive = true
+		s.healthy.Store(true)
+		switch status {
+		case http.StatusOK:
+			t.settle(engine.Result{
+				Support: out.Support,
+				Decoder: out.Decoder,
+				Stats: engine.JobStats{
+					QueueWait:  clientWait + time.Duration(out.QueueNS),
+					DecodeTime: time.Duration(out.DecodeNS),
+					Residual:   out.Residual,
+					Consistent: out.Consistent,
+				},
+			}, nil)
+			return
+		case http.StatusNotFound:
+			// Worker restarted or evicted the scheme: re-install and retry.
+			st.unensure()
+			lastErr, saturated = fmt.Errorf("remote: worker %s: %s", s.opts.Addr, errMsg), false
+		case http.StatusTooManyRequests:
+			s.markSaturated()
+			lastErr = fmt.Errorf("remote: worker %s: %w", s.opts.Addr, engine.ErrSaturated)
+			saturated = true
+		case http.StatusUnprocessableEntity, http.StatusBadRequest:
+			// A decode (or validation) failure is terminal: retrying cannot
+			// change a deterministic answer.
+			s.jobsFailed.Add(1)
+			t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: worker %s: %s", s.opts.Addr, errMsg))
+			return
+		default:
+			lastErr, saturated = fmt.Errorf("remote: worker %s: status %d: %s", s.opts.Addr, status, errMsg), false
+		}
+	}
+
+	s.jobsFailed.Add(1)
+	if saturated {
+		// The worker is alive but full past the retry budget; the error
+		// keeps ErrSaturated visible to errors.Is.
+		t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: worker %s: %w after %d attempts", s.opts.Addr, engine.ErrSaturated, attempts))
+		return
+	}
+	if !alive {
+		s.healthy.Store(false)
+	}
+	t.settle(engine.Result{Stats: stats}, s.unavailableErr(lastErr))
+}
+
+func (s *Shard) sleepBackoff(ctx context.Context, attempt int) bool {
+	timer := time.NewTimer(s.opts.retryBackoff() * time.Duration(attempt))
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ensure ships the scheme's design CSV to the worker if this client
+// hasn't (or a 404 told it the worker lost it). Serialized per scheme;
+// idempotent on the worker.
+func (s *Shard) ensure(ctx context.Context, st *schemeState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ensured {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := labio.WriteDesign(&buf, st.scheme.G); err != nil {
+		return fmt.Errorf("remote: serialize design: %w", err)
+	}
+	rctx, cancel := context.WithTimeout(ctx, s.opts.requestTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPut, s.base+schemePathPrefix+url.PathEscape(st.id), &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: install scheme on %s: status %d", s.opts.Addr, resp.StatusCode)
+	}
+	st.ensured = true
+	return nil
+}
+
+// postDecode runs one decode request. err is transport-level only;
+// HTTP-level failures come back as (status, errMsg).
+func (s *Shard) postDecode(ctx context.Context, payload []byte) (status int, out decodeResponse, errMsg string, err error) {
+	rctx, cancel := context.WithTimeout(ctx, s.opts.requestTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, s.base+decodePath, bytes.NewReader(payload))
+	if err != nil {
+		return 0, decodeResponse{}, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return 0, decodeResponse{}, "", err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+			return 0, decodeResponse{}, "", fmt.Errorf("remote: parse response: %w", derr)
+		}
+		return resp.StatusCode, out, "", nil
+	}
+	var eb errorBody
+	if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error == "" {
+		eb.Error = http.StatusText(resp.StatusCode)
+	}
+	return resp.StatusCode, decodeResponse{}, eb.Error, nil
+}
+
+func (s *Shard) probeLoop() {
+	defer close(s.probeDone)
+	interval := s.opts.probeInterval()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	s.probe()
+	for {
+		select {
+		case <-tick.C:
+			s.probe()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Shard) probe() {
+	// A fixed timeout rather than the (possibly very short) probe
+	// interval: probes run sequentially in the loop, so a slow one just
+	// delays the next tick instead of overlapping it — and a tight
+	// interval must not misread a slow-but-alive worker as dead.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+healthPath, nil)
+	if err != nil {
+		s.healthy.Store(false)
+		return
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		s.healthy.Store(false)
+		return
+	}
+	defer drainClose(resp.Body)
+	var h healthResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil || !h.OK {
+		s.healthy.Store(false)
+		return
+	}
+	s.gauges.Store(&h)
+	s.healthy.Store(true)
+}
+
+// drainClose discards the rest of a response body and closes it, so the
+// underlying connection is reusable.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	rc.Close()
+}

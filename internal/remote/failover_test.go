@@ -1,0 +1,165 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/campaign"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/rng"
+)
+
+// TestWorkerDeathFailsJobsAndCampaignTerminates is the failover
+// contract: killing a worker mid-campaign settles its remaining jobs
+// with a distinguishable error and the campaign reaches a terminal
+// state — no wedged long-pollers, no stuck dispatcher.
+func TestWorkerDeathFailsJobsAndCampaignTerminates(t *testing.T) {
+	const n, m, k, batch = 300, 240, 5, 48
+	_, ts0 := newWorker(t, 1, 2, 64, ServerOptions{})
+	_, ts1 := newWorker(t, 1, 2, 64, ServerOptions{})
+	sh0 := newShard(t, ts0, func(o *Options) { o.Retries = 1 })
+	sh1 := newShard(t, ts1, func(o *Options) { o.Retries = 1 })
+	cluster := engine.NewClusterOf(sh0, sh1)
+	store := campaign.NewStore(cluster, campaign.Config{})
+	defer store.Close()
+
+	// Pick a seed whose scheme lives on shard 1 — the worker we kill.
+	seed := seedOwnedBy(cluster, n, m, 1)
+	s, err := cluster.Scheme(nil, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Home() != 1 {
+		t.Fatalf("scheme home = %d, want 1", s.Home())
+	}
+	signals := make([]*bitvec.Vector, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(seed*100+uint64(b)))
+	}
+	ys := cluster.MeasureBatch(s, signals, noise.Model{})
+	cp, err := store.Create(campaign.Request{Scheme: s, Batch: ys, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the worker once at least one job settled (mid-campaign).
+	deadline := time.Now().Add(30 * time.Second)
+	for cp.Progress().Settled() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no job settled before kill")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ts1.Close()
+
+	var p campaign.Progress
+	for {
+		p = cp.Wait(context.Background(), 100*time.Millisecond)
+		if p.Terminal() && p.Settled() == p.Total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign wedged after worker death: %+v", cp.Progress())
+		}
+	}
+	if p.Completed == 0 {
+		t.Fatal("expected some jobs to complete before the kill")
+	}
+	if p.Completed == p.Total {
+		t.Skip("campaign finished before the worker died; nothing to assert")
+	}
+	failed := 0
+	for _, jr := range p.Results {
+		if jr.Error == "" {
+			continue
+		}
+		failed++
+		if !strings.Contains(jr.Error, "worker") && !strings.Contains(jr.Error, "context") {
+			t.Fatalf("job error not distinguishable as a worker failure: %q", jr.Error)
+		}
+	}
+	if failed == 0 {
+		t.Fatalf("no per-job errors despite worker death: %+v", p)
+	}
+	eventually(t, 5*time.Second, func() bool { return !sh1.Healthy() },
+		"dead worker never marked unhealthy")
+	if sh0.Healthy() != true {
+		t.Fatal("surviving worker must stay healthy")
+	}
+
+	// The cluster keeps serving: a decode on the surviving shard works,
+	// and new submissions to the dead shard fail fast instead of hanging.
+	s0, err := cluster.Scheme(nil, n, m, seedOwnedBy(cluster, n, m, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := cluster.MeasureBatch(s0, signals[:1], noise.Model{})[0]
+	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s0, Y: y0, K: k}); err != nil {
+		t.Fatalf("surviving shard decode: %v", err)
+	}
+	if _, err := cluster.Offer(context.Background(), engine.Job{Scheme: s, Y: ys[0], K: k}); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("offer to dead shard err = %v, want ErrWorkerUnavailable", err)
+	}
+}
+
+// seedOwnedBy finds a seed whose default-design spec hashes to the
+// given shard, using exactly the spec key the cluster routes on.
+func seedOwnedBy(c *engine.Cluster, n, m, shard int) uint64 {
+	for seed := uint64(1); ; seed++ {
+		if c.ShardOf(engine.SpecFor(pooling.RandomRegular{}, n, m, seed)) == shard {
+			return seed
+		}
+	}
+}
+
+// TestHealthProbeRecovers: a worker that starts failing flips the shard
+// unhealthy; when it comes back, the probe flips it healthy again and
+// decodes resume.
+func TestHealthProbeRecovers(t *testing.T) {
+	var broken atomic.Bool
+	wc := engine.NewCluster(engine.ClusterConfig{
+		Shards: 1, Shard: engine.Config{CacheCapacity: 4, Workers: 1},
+	})
+	t.Cleanup(wc.Close)
+	inner := NewServer(wc, ServerOptions{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if broken.Load() {
+			writeError(w, http.StatusServiceUnavailable, "down for maintenance")
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	sh := newShard(t, ts, func(o *Options) { o.ProbeInterval = 15 * time.Millisecond; o.Retries = 1 })
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(nil, 200, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := cluster.MeasureBatch(s, []*bitvec.Vector{bitvec.Random(200, 4, rng.NewRandSeeded(3))}, noise.Model{})[0]
+	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	broken.Store(true)
+	eventually(t, 5*time.Second, func() bool { return !sh.Healthy() }, "probe never marked the worker unhealthy")
+	if _, err := cluster.Offer(context.Background(), engine.Job{Scheme: s, Y: y, K: 4}); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("offer while down err = %v, want ErrWorkerUnavailable", err)
+	}
+
+	broken.Store(false)
+	eventually(t, 5*time.Second, func() bool { return sh.Healthy() }, "probe never recovered the worker")
+	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: 4}); err != nil {
+		t.Fatalf("decode after recovery: %v", err)
+	}
+}

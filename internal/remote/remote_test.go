@@ -1,0 +1,466 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/campaign"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/noise"
+	"pooleddata/internal/pooling"
+	"pooleddata/internal/query"
+	"pooleddata/internal/rng"
+)
+
+// newWorker starts an in-process worker: a local engine cluster behind
+// the shard API on a real loopback listener.
+func newWorker(t testing.TB, shards, workers, queue int, opts ServerOptions) (*engine.Cluster, *httptest.Server) {
+	t.Helper()
+	c := engine.NewCluster(engine.ClusterConfig{
+		Shards: shards,
+		Shard:  engine.Config{CacheCapacity: 8, Workers: workers, QueueDepth: queue},
+	})
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(NewServer(c, opts).Handler())
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+// fastOptions are client options tuned for tests: quick probes and
+// short retry backoffs so failure paths resolve in milliseconds.
+func fastOptions(addr string) Options {
+	return Options{
+		Addr:           addr,
+		ProbeInterval:  25 * time.Millisecond,
+		RetryBackoff:   5 * time.Millisecond,
+		RequestTimeout: 5 * time.Second,
+	}
+}
+
+func newShard(t testing.TB, ts *httptest.Server, opt func(*Options)) *Shard {
+	t.Helper()
+	o := fastOptions(ts.Listener.Addr().String())
+	if opt != nil {
+		opt(&o)
+	}
+	sh := New(o)
+	t.Cleanup(sh.Close)
+	return sh
+}
+
+func eventually(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRemoteDecodeMatchesLocal is the federation contract: the same
+// (design, n, m, seed) and counts decode bit-identically whether the
+// shard is a local engine or a worker across the wire, for exact and
+// noisy jobs (including the server-side noise-policy decoder pick).
+func TestRemoteDecodeMatchesLocal(t *testing.T) {
+	const n, m, k = 400, 160, 6
+	const seed = 7
+
+	local := engine.New(engine.Config{})
+	defer local.Close()
+	ls, err := local.Scheme(nil, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newWorker(t, 2, 2, 0, ServerOptions{})
+	sh := newShard(t, ts, nil)
+	cluster := engine.NewClusterOf(sh)
+	rs, err := cluster.Scheme(nil, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Home() != 0 {
+		t.Fatalf("remote scheme home = %d, want 0", rs.Home())
+	}
+
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(21))
+	y := query.Execute(ls.G, sigma, query.Options{}).Y
+
+	want, err := local.Decode(context.Background(), engine.Job{Scheme: ls, Y: y, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Decode(context.Background(), engine.Job{Scheme: rs, Y: y, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Support, want.Support) {
+		t.Fatalf("remote support %v != local %v", got.Support, want.Support)
+	}
+	if got.Decoder != want.Decoder {
+		t.Fatalf("remote decoder %q != local %q", got.Decoder, want.Decoder)
+	}
+	if got.Stats.Residual != want.Stats.Residual || got.Stats.Consistent != want.Stats.Consistent {
+		t.Fatalf("remote stats (res=%d cons=%v) != local (res=%d cons=%v)",
+			got.Stats.Residual, got.Stats.Consistent, want.Stats.Residual, want.Stats.Consistent)
+	}
+
+	// Noisy path: the model travels in colon form and the worker's noise
+	// policy must make the same pick the local one does.
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 1.5, Seed: 5}
+	yn := local.MeasureBatch(ls, []*bitvec.Vector{sigma}, nm)[0]
+	wantN, err := local.Decode(context.Background(), engine.Job{Scheme: ls, Y: yn, K: k, Noise: nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotN, err := cluster.Decode(context.Background(), engine.Job{Scheme: rs, Y: yn, K: k, Noise: nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN.Decoder != wantN.Decoder {
+		t.Fatalf("noisy decoder %q != local %q", gotN.Decoder, wantN.Decoder)
+	}
+	if !reflect.DeepEqual(gotN.Support, wantN.Support) {
+		t.Fatalf("noisy remote support %v != local %v", gotN.Support, wantN.Support)
+	}
+}
+
+// TestRemoteMeasureBatchMatchesEngine checks the frontend-side
+// measurement path of a remote shard against the engine's.
+func TestRemoteMeasureBatchMatchesEngine(t *testing.T) {
+	const n, m, k, batch = 300, 120, 5, 4
+	local := engine.New(engine.Config{})
+	defer local.Close()
+	ls, err := local.Scheme(nil, n, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newWorker(t, 1, 1, 0, ServerOptions{})
+	sh := newShard(t, ts, nil)
+	cluster := engine.NewClusterOf(sh)
+	rs, err := cluster.Scheme(nil, n, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals := make([]*bitvec.Vector, batch)
+	for b := range signals {
+		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(uint64(40+b)))
+	}
+	nm := noise.Model{Kind: noise.Gaussian, Sigma: 0.8, Seed: 9}
+	want := local.MeasureBatch(ls, signals, nm)
+	got := cluster.MeasureBatch(rs, signals, nm)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("remote MeasureBatch differs from engine MeasureBatch")
+	}
+}
+
+// TestRemoteReinstallAfterEviction drives the 404 recovery path: a
+// worker whose scheme registry holds one entry keeps evicting, and the
+// client re-installs transparently on the next decode.
+func TestRemoteReinstallAfterEviction(t *testing.T) {
+	const n, m, k = 300, 120, 5
+	_, ts := newWorker(t, 1, 1, 0, ServerOptions{MaxSchemes: 1})
+	sh := newShard(t, ts, nil)
+	cluster := engine.NewClusterOf(sh)
+
+	sa, err := cluster.Scheme(nil, n, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := cluster.Scheme(nil, n, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(s *engine.Scheme, seed uint64) {
+		t.Helper()
+		sigma := bitvec.Random(n, k, rng.NewRandSeeded(seed))
+		y := query.Execute(s.G, sigma, query.Options{}).Y
+		res, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k})
+		if err != nil {
+			t.Fatalf("decode after eviction: %v", err)
+		}
+		if !reflect.DeepEqual(res.Support, sigma.Support()) {
+			t.Fatalf("support %v, want %v", res.Support, sigma.Support())
+		}
+	}
+	decode(sa, 31)
+	decode(sb, 32) // evicts sa on the worker
+	decode(sa, 33) // 404 → re-install → success
+	decode(sb, 34)
+}
+
+// fakeWorker is a scripted worker for failure-path tests: health and
+// installs succeed, decode behavior is pluggable.
+func fakeWorker(t *testing.T, decode http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /shard/v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{OK: true, Shards: 1, QueueCapacity: 4, Workers: 1})
+	})
+	mux.HandleFunc("PUT /shard/v1/schemes/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /shard/v1/decode", decode)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestWorker429MirrorsSaturation: a worker answering 429 makes the job
+// fail with an error wrapping engine.ErrSaturated after bounded
+// retries, and raises the client's Saturated signal.
+func TestWorker429MirrorsSaturation(t *testing.T) {
+	ts := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "decode queue saturated")
+	})
+	sh := newShard(t, ts, func(o *Options) { o.Retries = 1 })
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(nil, 200, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]int64, 80)
+	fut, err := cluster.Offer(context.Background(), engine.Job{Scheme: s, Y: y, K: 0})
+	if err != nil {
+		t.Fatalf("offer: %v", err)
+	}
+	_, err = fut.Wait(context.Background())
+	if !errors.Is(err, engine.ErrSaturated) {
+		t.Fatalf("err = %v, want wrapping engine.ErrSaturated", err)
+	}
+	if !sh.Saturated() {
+		t.Fatal("shard not marked saturated after worker 429")
+	}
+	if sh.Healthy() != true {
+		t.Fatal("a saturated worker is alive, not unhealthy")
+	}
+}
+
+// TestClientQueueBackpressure: with one sender stuck in a slow request
+// and a one-slot client queue, Offer returns ErrSaturated — the same
+// cooperative backpressure a full local shard queue produces.
+func TestClientQueueBackpressure(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	ts := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		writeJSON(w, http.StatusOK, decodeResponse{Support: []int{}})
+	})
+	defer close(release)
+	sh := newShard(t, ts, func(o *Options) { o.Senders = 1; o.QueueDepth = 1 })
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(nil, 200, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := engine.Job{Scheme: s, Y: make([]int64, 80), K: 0}
+
+	fut1, err := cluster.Offer(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // sender is now blocked inside the request
+	fut2, err := cluster.Offer(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Offer(context.Background(), job); !errors.Is(err, engine.ErrSaturated) {
+		t.Fatalf("third offer err = %v, want ErrSaturated", err)
+	}
+	if !sh.Saturated() {
+		t.Fatal("full client queue must report Saturated")
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	for _, fut := range []*engine.Future{fut1, fut2} {
+		if _, err := fut.Wait(context.Background()); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+}
+
+// TestRemoteCancellation: canceling the job context settles queued jobs
+// as canceled without waiting on the worker.
+func TestRemoteCancellation(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	ts := fakeWorker(t, func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		writeJSON(w, http.StatusOK, decodeResponse{Support: []int{}})
+	})
+	defer close(release)
+	sh := newShard(t, ts, func(o *Options) { o.Senders = 1; o.QueueDepth = 4 })
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(nil, 200, 80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := engine.Job{Scheme: s, Y: make([]int64, 80), K: 0}
+	futBlocked, err := cluster.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	futQueued, err := cluster.Submit(ctx, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := futQueued.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued job err = %v, want context.Canceled", err)
+	}
+	release <- struct{}{}
+	// The in-flight job's request context died with the cancel; either
+	// outcome (canceled or a late success) must settle the future.
+	if _, err := futBlocked.Wait(context.Background()); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-flight job err = %v", err)
+	}
+}
+
+// TestRemoteHammer drives two in-process workers through the full
+// campaign stack — tenants, weights, noise models, stats polling —
+// under -race.
+func TestRemoteHammer(t *testing.T) {
+	const n, m, k, batch = 300, 240, 5, 12
+	w0, ts0 := newWorker(t, 2, 2, 64, ServerOptions{})
+	w1, ts1 := newWorker(t, 2, 2, 64, ServerOptions{})
+	_ = w0
+	_ = w1
+	sh0 := newShard(t, ts0, nil)
+	sh1 := newShard(t, ts1, nil)
+	cluster := engine.NewClusterOf(sh0, sh1)
+	store := campaign.NewStore(cluster, campaign.Config{
+		TenantWeights: map[string]int{"heavy": 3},
+	})
+	defer store.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // stats pollers race against dispatch
+		defer wg.Done()
+		for !stop.Load() {
+			cluster.Stats()
+			store.Tenants()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	tenants := []string{"heavy", "light"}
+	var cwg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			seed := uint64(10 + c)
+			s, err := cluster.Scheme(nil, n, m, seed)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			signals := make([]*bitvec.Vector, batch)
+			for b := range signals {
+				signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(seed*100+uint64(b)))
+			}
+			nm := noise.Model{}
+			if c%2 == 1 {
+				nm = noise.Model{Kind: noise.Gaussian, Sigma: 0.5, Seed: seed}
+			}
+			ys := cluster.MeasureBatch(s, signals, nm)
+			cp, err := store.Create(campaign.Request{
+				Scheme: s, Batch: ys, K: k, Tenant: tenants[c%2], Noise: nm,
+			})
+			if err != nil {
+				t.Errorf("create campaign %d: %v", c, err)
+				return
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				p := cp.Wait(context.Background(), 50*time.Millisecond)
+				if p.Terminal() && p.Settled() == p.Total {
+					if p.Failed != 0 || p.Canceled != 0 {
+						t.Errorf("campaign %d: %+v", c, p)
+					}
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("campaign %d did not finish: %+v", c, cp.Progress())
+					return
+				}
+			}
+		}(c)
+	}
+	cwg.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	// Decodes must have landed on the workers, not locally. Stats are
+	// cached briefly client-side, so poll past the TTL.
+	eventually(t, 5*time.Second, func() bool {
+		return sh0.Stats().JobsCompleted+sh1.Stats().JobsCompleted >= 4*batch
+	}, "workers did not report the campaigns' decode jobs")
+}
+
+// TestSpecIDEscaping: spec ids embed design parameter strings; they
+// must survive the URL path round-trip.
+func TestSpecIDEscaping(t *testing.T) {
+	_, ts := newWorker(t, 1, 1, 0, ServerOptions{})
+	sh := newShard(t, ts, nil)
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(pooling.RandomRegular{Gamma: 9}, 200, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(200, 4, rng.NewRandSeeded(2))
+	y := query.Execute(s.G, sigma, query.Options{}).Y
+	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: 4}); err != nil {
+		t.Fatalf("decode with parameterized design: %v", err)
+	}
+}
+
+// TestWorkerStatsRoundTrip: the worker's engine counters surface
+// through the client's Stats, with client-side deltas folded in.
+func TestWorkerStatsRoundTrip(t *testing.T) {
+	const n, m, k = 300, 120, 5
+	_, ts := newWorker(t, 1, 1, 0, ServerOptions{})
+	sh := newShard(t, ts, nil)
+	cluster := engine.NewClusterOf(sh)
+	s, err := cluster.Scheme(nil, n, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := bitvec.Random(n, k, rng.NewRandSeeded(8))
+	y := query.Execute(s.G, sigma, query.Options{}).Y
+	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k}); err != nil {
+		t.Fatal(err)
+	}
+	st := sh.Stats()
+	if st.JobsCompleted != 1 || st.JobsSubmitted != 1 {
+		t.Fatalf("stats = %+v, want 1 submitted/completed", st)
+	}
+	if len(st.DecodeLatency) == 0 {
+		t.Fatal("per-decoder latency histograms did not cross the wire")
+	}
+	var buf []byte
+	if buf, err = json.Marshal(cluster.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf) {
+		t.Fatal("cluster stats not valid JSON")
+	}
+}

@@ -1,0 +1,233 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pooleddata/internal/engine"
+	"pooleddata/internal/labio"
+	"pooleddata/internal/noise"
+)
+
+// ServerOptions sizes a worker-side shard server.
+type ServerOptions struct {
+	// MaxSchemes bounds the installed-scheme registry; beyond it the
+	// oldest entries are dropped and later decodes against them return
+	// 404 (the client re-installs). 0 means 64.
+	MaxSchemes int
+	// MaxBody bounds request bodies (design uploads). 0 means 256 MiB.
+	MaxBody int64
+}
+
+func (o ServerOptions) maxSchemes() int {
+	if o.MaxSchemes <= 0 {
+		return 64
+	}
+	return o.MaxSchemes
+}
+
+func (o ServerOptions) maxBody() int64 {
+	if o.MaxBody <= 0 {
+		return 256 << 20
+	}
+	return o.MaxBody
+}
+
+// Server is the worker side of the shard protocol: it serves decode
+// jobs against designs installed by its frontends, over a local engine
+// cluster. `pooledd -worker` is exactly this handler behind an
+// http.Server.
+type Server struct {
+	cluster *engine.Cluster
+	opts    ServerOptions
+
+	mu      sync.Mutex
+	schemes map[string]*engine.Scheme
+	order   []string // installation order, oldest first
+}
+
+// NewServer builds a shard server over the cluster. The caller owns the
+// cluster's lifecycle (Close).
+func NewServer(cluster *engine.Cluster, opts ServerOptions) *Server {
+	return &Server{
+		cluster: cluster,
+		opts:    opts,
+		schemes: make(map[string]*engine.Scheme),
+	}
+}
+
+// Handler returns the shard API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /shard/v1/schemes/{id}", s.handleInstall)
+	mux.HandleFunc("POST /shard/v1/decode", s.handleDecode)
+	mux.HandleFunc("GET /shard/v1/health", s.handleHealth)
+	mux.HandleFunc("GET /shard/v1/stats", s.handleStats)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown route %s %s", r.Method, r.URL.Path)
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opts.maxBody())
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleInstall registers the uploaded design under the caller-chosen
+// id, replacing any previous entry — installs are idempotent, so a
+// frontend re-ensuring after a worker restart or registry eviction
+// needs no coordination. The scheme lands on one of the worker's local
+// shards round-robin, like any ad-hoc upload.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, "empty scheme id")
+		return
+	}
+	g, err := labio.ReadDesign(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse design csv: %v", err)
+		return
+	}
+	es := s.cluster.SchemeFromGraph(g)
+	s.mu.Lock()
+	if _, ok := s.schemes[id]; !ok {
+		s.order = append(s.order, id)
+	}
+	s.schemes[id] = es
+	for len(s.schemes) > s.opts.maxSchemes() {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.schemes, oldest)
+	}
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) lookup(id string) (*engine.Scheme, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	es, ok := s.schemes[id]
+	return es, ok
+}
+
+// SchemeCount reports the number of installed schemes (tests, gauges).
+func (s *Server) SchemeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.schemes)
+}
+
+// handleDecode runs one job through the worker's cluster. Admission is
+// TrySubmit: a saturated local queue answers 429 so the frontend's
+// dispatcher sees the same ErrSaturated backpressure a local shard
+// produces. An unknown scheme answers 404 so the client re-installs —
+// the recovery path after a worker restart or registry eviction.
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	var req decodeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	es, ok := s.lookup(req.Scheme)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
+		return
+	}
+	nm, err := noise.Parse(req.Noise)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad noise: %v", err)
+		return
+	}
+	job := engine.Job{Scheme: es, Y: req.Y, K: req.K, Noise: nm}
+	if req.Decoder != "" {
+		dec, err := engine.DecoderByName(req.Decoder)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		job.Dec = dec
+	}
+	fut, err := s.cluster.TrySubmit(r.Context(), job)
+	switch {
+	case errors.Is(err, engine.ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(es)))
+		writeError(w, http.StatusTooManyRequests, "decode queue saturated")
+		return
+	case errors.Is(err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "engine closed")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := fut.Wait(r.Context())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "decode: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, decodeResponse{
+		Support:    res.Support,
+		Decoder:    res.Decoder,
+		Residual:   res.Stats.Residual,
+		Consistent: res.Stats.Consistent,
+		QueueNS:    int64(res.Stats.QueueWait),
+		DecodeNS:   int64(res.Stats.DecodeTime),
+	})
+}
+
+// retryAfterSeconds estimates how long the scheme's owning shard needs
+// to drain its backlog — the same backlog-derived Retry-After the
+// pooledd frontend serves, so shard-API clients are not told to retry
+// a tens-of-seconds queue after one second.
+func (s *Server) retryAfterSeconds(es *engine.Scheme) int {
+	sh := s.cluster.Owner(es)
+	st := sh.Stats()
+	if st.JobsCompleted == 0 {
+		return 1
+	}
+	avg := st.TotalDecodeTime / time.Duration(st.JobsCompleted)
+	workers := sh.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := int(avg * time.Duration(sh.QueueDepth()) / time.Duration(workers) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := healthResponse{OK: true, Shards: s.cluster.Shards()}
+	for i := 0; i < s.cluster.Shards(); i++ {
+		sh := s.cluster.Shard(i)
+		h.QueueDepth += sh.QueueDepth()
+		h.QueueCapacity += sh.QueueCapacity()
+		h.Workers += sh.Workers()
+		h.CachedSchemes += sh.CachedSchemes()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.Stats().Total)
+}
