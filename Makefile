@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote metrics-lint clean
 
 all: build vet test
 
@@ -44,6 +44,31 @@ bench-stream:
 # shard — the per-job wire overhead a deployment amortizes by batching.
 bench-remote:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkRemoteShardDecode' -benchtime 100x ./internal/remote
+
+# Scrape a live frontend + worker pair and run both expositions through
+# promcheck (the in-repo, dependency-free Prometheus text-format linter).
+# Catches malformed escaping, non-cumulative buckets, and duplicate
+# series before a real Prometheus ever sees them.
+metrics-lint:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/pooledd ./cmd/pooledd; \
+	$(GO) build -o $$tmp/promcheck ./cmd/promcheck; \
+	$$tmp/pooledd -worker -addr 127.0.0.1:19390 -shards 2 & wpid=$$!; \
+	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 & fpid=$$!; \
+	trap 'kill $$wpid $$fpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://127.0.0.1:19390/metrics >/dev/null && \
+	  curl -sf http://127.0.0.1:19392/metrics >/dev/null && break; \
+	  sleep 0.2; \
+	done; \
+	curl -sf -X POST http://127.0.0.1:19392/v1/schemes \
+	  -d '{"design":"random-regular","n":400,"m":200,"seed":1}' >/dev/null; \
+	curl -sf -X POST http://127.0.0.1:19392/v1/decode \
+	  -d "{\"scheme\":\"s1\",\"k\":0,\"counts\":[$$(printf '0,%.0s' $$(seq 1 199))0]}" >/dev/null; \
+	curl -sf http://127.0.0.1:19390/metrics | $$tmp/promcheck; \
+	curl -sf http://127.0.0.1:19392/metrics | $$tmp/promcheck; \
+	echo "metrics-lint: worker and frontend expositions are clean"
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,7 @@ import (
 	"pooleddata/internal/rng"
 	"pooleddata/internal/sparse"
 	"pooleddata/internal/thresholds"
+	"pooleddata/metrics"
 )
 
 // skipSweepIfShort keeps `go test -short -bench .` quick in CI: the
@@ -574,6 +575,59 @@ func BenchmarkNoisyBatchDecode(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		}
+	})
+}
+
+// BenchmarkMetricsOverhead measures what the observability layer costs
+// on the hot decode path: the same noisy batched decode as
+// BenchmarkNoisyBatchDecode/gaussian, once against a nil registry (the
+// no-op sink every instrument accepts) and once with a live registry
+// collecting the full engine surface. The acceptance bar is the
+// instrumented run within 2% of the no-op run — the registry records on
+// scrape-time collectors and lock-free atomics, so the pipeline should
+// not notice it.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		m     = 600
+		batch = 32
+	)
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(99)
+	for s := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[s] = sig
+	}
+	nm := NoiseModel{Kind: "gaussian", Sigma: 0.5, Seed: 7}
+	run := func(b *testing.B, reg *metrics.Registry) {
+		eng := NewEngine(EngineOptions{MetricsRegistry: reg})
+		defer eng.Close()
+		scheme, err := eng.Scheme(n, m, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ys, err := eng.MeasureBatchNoisy(scheme, signals, nm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.DecodeBatchNoisy(context.Background(), scheme, ys, k, nm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("noop-sink", func(b *testing.B) { run(b, nil) })
+	b.Run("registry", func(b *testing.B) {
+		reg := metrics.NewRegistry()
+		run(b, reg)
+		if fams := reg.Gather(); len(fams) == 0 {
+			b.Fatal("registry collected nothing — the benchmark measured an unwired engine")
 		}
 	})
 }

@@ -58,6 +58,15 @@
 //	                               decode-latency histograms, jobs_by_noise per-model
 //	                               counters, campaign gauges, per-tenant gauges with
 //	                               decode-latency histograms)
+//	GET    /metrics                Prometheus text exposition of the same surface
+//	                               (served by both modes: frontend and -worker)
+//
+// Observability: every request gets a trace id at ingress (X-Request-ID
+// or Trace-ID when the caller sets one, random otherwise), echoed in a
+// Trace-ID response header, carried on the decode pipeline into results,
+// campaign SSE events, and across the federation hop into worker logs.
+// Logs are structured (log/slog); -log-format selects text or json.
+// -debug-addr serves net/http/pprof on a separate listener.
 //
 // -snapshot persists the registered scheme specs as JSON on graceful
 // shutdown (SIGINT/SIGTERM) and rebuilds them into the shard caches on
@@ -73,6 +82,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -84,6 +94,7 @@ import (
 	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/remote"
+	"pooleddata/metrics"
 )
 
 func main() {
@@ -103,22 +114,31 @@ func main() {
 	tenantMaxActive := flag.Int("tenant-max-active", 0, "max active campaigns per tenant (0: unlimited)")
 	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "max unsettled campaign jobs per tenant (0: unlimited)")
 	tenantWeights := flag.String("tenant-weights", "", "weighted fair queuing, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	flag.Parse()
 
 	if *shards < 1 {
 		*shards = 1
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+		os.Exit(1)
 	}
 	weights, err := parseWeights(*tenantWeights)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)
 	}
+	startDebugServer(*debugAddr, logger)
 
 	if *workerMode {
-		runWorker(*addr, *shards, *cache, *shardWorkers, *queue, *maxSchemes, *maxBody)
+		runWorker(*addr, *shards, *cache, *shardWorkers, *queue, *maxSchemes, *maxBody, logger)
 		return
 	}
 
+	reg := metrics.NewRegistry()
 	var cluster *engine.Cluster
 	if *workerAddrs != "" {
 		addrs := splitList(*workerAddrs)
@@ -128,10 +148,13 @@ func main() {
 		}
 		remotes := make([]engine.Shard, len(addrs))
 		for i, a := range addrs {
-			remotes[i] = remote.New(remote.Options{Addr: a, RequestTimeout: *workerTimeout})
+			remotes[i] = remote.New(remote.Options{
+				Addr: a, RequestTimeout: *workerTimeout,
+				Metrics: reg, Logger: logger,
+			})
 		}
 		cluster = engine.NewClusterOf(remotes...)
-		fmt.Fprintf(os.Stderr, "pooledd: fronting %d remote workers (%s)\n", len(addrs), strings.Join(addrs, ", "))
+		logger.Info("fronting remote workers", "count", len(addrs), "addrs", strings.Join(addrs, ", "))
 	} else {
 		cluster = engine.NewCluster(engine.ClusterConfig{
 			Shards: *shards,
@@ -151,6 +174,7 @@ func main() {
 	})
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
+	srv.instrument(reg, logger)
 	if *designs != "" {
 		if err := preloadDesigns(cluster, srv, splitList(*designs), os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
@@ -184,7 +208,7 @@ func main() {
 		}()
 	}
 	done := serveUntilSignal(httpSrv)
-	fmt.Fprintf(os.Stderr, "pooledd: listening on %s (%d shards)\n", *addr, cluster.Shards())
+	logger.Info("listening", "addr", *addr, "shards", cluster.Shards())
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)
@@ -206,7 +230,7 @@ func main() {
 // backend of a federated deployment. Schemes arrive from frontends
 // (installed lazily before their first decode), so -designs/-snapshot
 // do not apply here.
-func runWorker(addr string, shards, cache, workers, queue int, maxSchemes int, maxBody int64) {
+func runWorker(addr string, shards, cache, workers, queue int, maxSchemes int, maxBody int64, logger *slog.Logger) {
 	cluster := engine.NewCluster(engine.ClusterConfig{
 		Shards: shards,
 		Shard: engine.Config{
@@ -216,16 +240,26 @@ func runWorker(addr string, shards, cache, workers, queue int, maxSchemes int, m
 		},
 	})
 	defer cluster.Close()
-	ws := remote.NewServer(cluster, remote.ServerOptions{MaxSchemes: maxSchemes, MaxBody: maxBody})
+	reg := metrics.NewRegistry()
+	engine.RegisterClusterMetrics(reg, cluster)
+	ws := remote.NewServer(cluster, remote.ServerOptions{
+		MaxSchemes: maxSchemes, MaxBody: maxBody,
+		Logger: logger, Metrics: reg,
+	})
+	// The worker serves /metrics beside the shard API, so a Prometheus
+	// fleet scrapes frontends and workers uniformly.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("/", ws.Handler())
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           ws.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
 	done := serveUntilSignal(httpSrv)
-	fmt.Fprintf(os.Stderr, "pooledd: worker listening on %s (%d shards x %d workers)\n",
-		addr, cluster.Shards(), cluster.Shard(0).Workers())
+	logger.Info("worker listening", "addr", addr,
+		"shards", cluster.Shards(), "workers_per_shard", cluster.Shard(0).Workers())
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"pooleddata/internal/campaign"
+	"pooleddata/internal/engine"
+	"pooleddata/metrics"
+)
+
+// Per-request trace propagation: every request entering the public API
+// gets a trace id at ingress — the caller's X-Request-ID (or an
+// explicit Trace-ID) when present, a fresh random id otherwise. The id
+// rides the request context into the decode pipeline (engine.Job
+// carries it through settle into Result and campaign events) and across
+// the federation hop to workers, so one grep over frontend logs, worker
+// logs, and an SSE stream correlates a single job end to end. The
+// response echoes it in a Trace-ID header.
+
+// traceHeader is the canonical trace header, echoed on every response.
+const traceHeader = "Trace-ID"
+
+type traceCtxKey struct{}
+
+// newTraceID returns a 16-hex-char random id. crypto/rand failure is
+// unrecoverable enough (and rare enough) that a constant fallback beats
+// plumbing an error through every request.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceFrom returns the request's trace id, or "" outside the
+// middleware (tests driving handlers directly).
+func traceFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}
+
+// withTrace is the ingress middleware: adopt the caller's id or mint
+// one, stash it in the context, echo it on the response.
+func withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(traceHeader)
+		if id == "" {
+			id = r.Header.Get("X-Request-ID")
+		}
+		if id == "" {
+			id = newTraceID()
+		}
+		w.Header().Set(traceHeader, id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, id)))
+	})
+}
+
+// newLogger builds the process logger from the -log-format flag and
+// installs it as the slog default, so packages that fall back to
+// slog.Default() (the remote client's probe transitions, the worker
+// server's decode logs) share the same sink and format.
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text", "":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("bad -log-format %q, want text or json", format)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// startDebugServer serves net/http/pprof on its own listener — opt-in
+// via -debug-addr and deliberately separate from the public API so
+// profiling endpoints are never exposed on the service port.
+func startDebugServer(addr string, log *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Info("debug server listening", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Error("debug server failed", "addr", addr, "err", err)
+		}
+	}()
+}
+
+// instrument attaches the metrics registry and logger to the server:
+// the cluster and campaign-store collectors, the server-level gauges
+// (registered schemes, uptime), and the SSE stream instruments. The
+// registry may be nil (tests building a bare server) — every
+// instrument is a no-op then.
+func (s *server) instrument(reg *metrics.Registry, log *slog.Logger) {
+	if log != nil {
+		s.log = log
+	}
+	s.metrics = reg
+	engine.RegisterClusterMetrics(reg, s.cluster)
+	campaign.RegisterStoreMetrics(reg, s.campaigns)
+	s.mSSEActive = reg.Gauge("pooled_sse_subscribers", "Campaign event streams currently connected.").With()
+	s.mSSEStreams = reg.Counter("pooled_sse_streams_total", "Campaign event streams accepted.").With()
+	s.mSSEEvictions = reg.Counter("pooled_sse_evictions_total", "Streams evicted by a slow-client write timeout or write error.").With()
+	reg.OnGather(func(e *metrics.Exporter) {
+		s.mu.Lock()
+		n := len(s.schemes)
+		s.mu.Unlock()
+		e.Gauge("pooled_registered_schemes", "Scheme ids resident in the frontend registry.", float64(n))
+		e.Gauge("pooled_uptime_seconds", "Seconds since process start.", time.Since(s.start).Seconds())
+	})
+}

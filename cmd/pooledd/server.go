@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"pooleddata/internal/labio"
 	"pooleddata/internal/noise"
 	"pooleddata/internal/remote"
+	"pooleddata/metrics"
 )
 
 // server is the HTTP front-end over the sharded reconstruction cluster.
@@ -43,6 +45,15 @@ type server struct {
 	sseHeartbeat    time.Duration
 	sseWriteTimeout time.Duration
 
+	// Observability surface, attached by instrument(). metrics may be
+	// nil (bare test servers): every instrument and the /metrics
+	// handler are nil-safe no-ops then.
+	log           *slog.Logger
+	metrics       *metrics.Registry
+	mSSEActive    *metrics.Gauge
+	mSSEStreams   *metrics.Counter
+	mSSEEvictions *metrics.Counter
+
 	mu      sync.Mutex
 	schemes map[string]*schemeEntry
 	order   []string // registration order, oldest first
@@ -69,7 +80,7 @@ type schemeEntry struct {
 }
 
 func newServer(cluster *engine.Cluster, ccfg campaign.Config) *server {
-	return &server{
+	s := &server{
 		cluster:         cluster,
 		campaigns:       campaign.NewStore(cluster, ccfg),
 		start:           time.Now(),
@@ -80,7 +91,12 @@ func newServer(cluster *engine.Cluster, ccfg campaign.Config) *server {
 		sseWriteTimeout: 10 * time.Second,
 		schemes:         make(map[string]*schemeEntry),
 		bySpec:          make(map[engine.Spec]string),
+		log:             slog.Default(),
 	}
+	// Nil-safe instruments so handlers never branch on "is metrics
+	// enabled"; main re-instruments with the real registry.
+	s.instrument(nil, nil)
+	return s
 }
 
 func (s *server) handler() http.Handler {
@@ -95,17 +111,18 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	// Catch-all so unknown routes return a JSON body like every other
 	// error path, not the mux's text/plain 404.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown route %s %s", r.Method, r.URL.Path)
 	})
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return withTrace(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		}
 		mux.ServeHTTP(w, r)
-	})
+	}))
 }
 
 // httpError writes a JSON error body with the given status.
@@ -313,6 +330,7 @@ type decodeResponse struct {
 	Consistent bool   `json:"consistent"`
 	QueueNS    int64  `json:"queue_ns"`
 	DecodeNS   int64  `json:"decode_ns"`
+	TraceID    string `json:"trace_id,omitempty"`
 }
 
 func toResponse(res engine.Result) decodeResponse {
@@ -323,6 +341,7 @@ func toResponse(res engine.Result) decodeResponse {
 		Consistent: res.Stats.Consistent,
 		QueueNS:    int64(res.Stats.QueueWait),
 		DecodeNS:   int64(res.Stats.DecodeTime),
+		TraceID:    res.TraceID,
 	}
 }
 
@@ -373,12 +392,13 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := s.cluster.Owner(ent.scheme)
+	trace := traceFrom(r.Context())
 
 	switch {
 	case req.Counts != nil && req.Batch != nil:
 		httpError(w, http.StatusBadRequest, "set either counts or batch, not both")
 	case req.Counts != nil:
-		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Noise: nm, Dec: dec})
+		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Noise: nm, Dec: dec, TraceID: trace})
 		if errors.Is(err, engine.ErrSaturated) {
 			rejectSaturated(w, shard)
 			return
@@ -389,9 +409,14 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		}
 		res, err := fut.Wait(r.Context())
 		if err != nil {
+			s.log.Warn("decode failed", "trace_id", trace, "scheme", req.Scheme, "err", err)
 			httpError(w, decodeStatus(err), "decode: %v", err)
 			return
 		}
+		s.log.Info("decode",
+			"trace_id", trace, "scheme", req.Scheme, "decoder", res.Decoder,
+			"k", req.K, "consistent", res.Stats.Consistent,
+			"queue_ns", int64(res.Stats.QueueWait), "decode_ns", int64(res.Stats.DecodeTime))
 		writeJSON(w, http.StatusOK, toResponse(res))
 	case req.Batch != nil:
 		// Batch admission is a snapshot check: a full queue turns the whole
@@ -401,11 +426,14 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			rejectSaturated(w, shard)
 			return
 		}
-		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Noise: nm, Dec: dec})
+		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Noise: nm, Dec: dec, TraceID: trace})
 		if err != nil {
+			s.log.Warn("decode batch failed", "trace_id", trace, "scheme", req.Scheme, "err", err)
 			httpError(w, decodeStatus(err), "decode batch: %v", err)
 			return
 		}
+		s.log.Info("decode batch",
+			"trace_id", trace, "scheme", req.Scheme, "jobs", len(results), "k", req.K)
 		out := make([]decodeResponse, len(results))
 		for i, res := range results {
 			out[i] = toResponse(res)
@@ -474,9 +502,10 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
+	trace := traceFrom(r.Context())
 	cp, err := s.campaigns.Create(campaign.Request{
 		Scheme: ent.scheme, Batch: req.Batch, K: req.K,
-		Tenant: req.Tenant, Noise: nm, Dec: dec,
+		Tenant: req.Tenant, Noise: nm, Dec: dec, TraceID: trace,
 	})
 	switch {
 	case errors.Is(err, engine.ErrSaturated):
@@ -490,6 +519,9 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
+		s.log.Info("campaign created",
+			"trace_id", trace, "campaign", cp.ID(), "tenant", cp.Tenant(),
+			"scheme", req.Scheme, "jobs", cp.Total(), "k", req.K)
 		created := campaignCreated{ID: cp.ID(), Tenant: cp.Tenant(), Total: cp.Total(), State: string(campaign.Running)}
 		if !nm.IsExact() {
 			created.Noise = &nm

@@ -102,6 +102,9 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	s.mSSEStreams.Inc()
+	s.mSSEActive.Add(1)
+	defer s.mSSEActive.Add(-1)
 
 	rc := http.NewResponseController(w)
 	// The per-write deadline must not outlive this handler: the server
@@ -115,6 +118,7 @@ func (s *server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 	writeChunk := func(p []byte) bool {
 		_ = rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout))
 		if _, err := w.Write(p); err != nil {
+			s.mSSEEvictions.Inc()
 			return false
 		}
 		flusher.Flush()

@@ -1,0 +1,41 @@
+// Command promcheck validates a Prometheus text exposition — the
+// minimal, dependency-free stand-in for `promtool check metrics` that
+// `make metrics-lint` runs against a live /metrics scrape in CI. It
+// reads from stdin (or the files named as arguments) and exits
+// non-zero on the first malformed exposition.
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck scrape1.txt scrape2.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pooleddata/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := metrics.Lint(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("promcheck: stdin OK")
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		err = metrics.Lint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("promcheck: %s OK\n", path)
+	}
+}

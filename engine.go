@@ -8,6 +8,7 @@ import (
 	"pooleddata/internal/engine"
 	"pooleddata/internal/noise"
 	"pooleddata/internal/remote"
+	"pooleddata/metrics"
 )
 
 // This file is the public face of the reconstruction cluster
@@ -52,6 +53,13 @@ type EngineOptions struct {
 	// with health probes and bounded retry-then-fail failover. Shards,
 	// CacheCapacity, Workers, and QueueDepth are ignored in this mode.
 	RemoteWorkers []string
+	// MetricsRegistry, when set, receives the engine's observability
+	// surface: pipeline counters and stage timers, per-shard gauges,
+	// campaign-store gauges, and — with RemoteWorkers — the remote
+	// transport's request timers and health-transition counters. Serve
+	// it with MetricsRegistry.Handler() (Prometheus text exposition).
+	// Nil records nothing at zero cost.
+	MetricsRegistry *metrics.Registry
 }
 
 // EngineStats is a snapshot of an Engine's counters.
@@ -162,7 +170,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	if len(opts.RemoteWorkers) > 0 {
 		shards := make([]engine.Shard, len(opts.RemoteWorkers))
 		for i, addr := range opts.RemoteWorkers {
-			shards[i] = remote.New(remote.Options{Addr: addr})
+			shards[i] = remote.New(remote.Options{Addr: addr, Metrics: opts.MetricsRegistry})
 		}
 		inner = engine.NewClusterOf(shards...)
 	} else {
@@ -175,14 +183,14 @@ func NewEngine(opts EngineOptions) *Engine {
 			},
 		})
 	}
-	return &Engine{
-		inner: inner,
-		campaigns: campaign.NewStore(inner, campaign.Config{
-			TenantMaxActive: opts.TenantMaxActive,
-			TenantMaxQueued: opts.TenantMaxQueued,
-			TenantWeights:   opts.TenantWeights,
-		}),
-	}
+	st := campaign.NewStore(inner, campaign.Config{
+		TenantMaxActive: opts.TenantMaxActive,
+		TenantMaxQueued: opts.TenantMaxQueued,
+		TenantWeights:   opts.TenantWeights,
+	})
+	engine.RegisterClusterMetrics(opts.MetricsRegistry, inner)
+	campaign.RegisterStoreMetrics(opts.MetricsRegistry, st)
+	return &Engine{inner: inner, campaigns: st}
 }
 
 // Close stops the campaign dispatcher, drains every shard's decode

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pooleddata/internal/decoder"
@@ -120,6 +121,10 @@ type JobResult struct {
 	Decoder string `json:"decoder,omitempty"`
 	// Error is set for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
+	// TraceID is the campaign's ingress trace identifier, stamped on
+	// every settled job so SSE result events and campaign snapshots
+	// correlate with frontend and worker logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Progress is a point-in-time view of a campaign. Completed, Failed,
@@ -154,6 +159,7 @@ type Campaign struct {
 	tenant string
 	total  int
 	noise  noise.Model // canonical; zero means exact
+	trace  string      // ingress trace id, stamped on every JobResult
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -168,15 +174,15 @@ type Campaign struct {
 	canceledFlag  bool
 	expiredFlag   bool
 	quotaReleased bool // expiry already returned the unsettled jobs' quota
-	completed    int
-	failed       int
-	canceledJobs int
-	results      []JobResult
-	events       []Event       // monotone settlement log; ≤ total+1 entries
-	sealed       bool          // terminal event appended, log closed
-	changed      chan struct{} // closed and replaced on every update
-	finished     time.Time     // set when the last job settles
-	canceledAt   time.Time     // set on the first Cancel
+	completed     int
+	failed        int
+	canceledJobs  int
+	results       []JobResult
+	events        []Event       // monotone settlement log; ≤ total+1 entries
+	sealed        bool          // terminal event appended, log closed
+	changed       chan struct{} // closed and replaced on every update
+	finished      time.Time     // set when the last job settles
+	canceledAt    time.Time     // set on the first Cancel
 }
 
 // ID returns the campaign id.
@@ -234,7 +240,7 @@ func (cp *Campaign) notifyLocked() {
 // (via the shared OnDone callback, routed by Result.Tag) and on the
 // dispatcher for jobs that never enqueued.
 func (cp *Campaign) settle(idx int, res engine.Result, err error) {
-	jr := JobResult{Index: idx}
+	jr := JobResult{Index: idx, TraceID: cp.trace}
 	canceled := false
 	switch {
 	case err == nil:
@@ -404,6 +410,10 @@ type Request struct {
 	// Dec selects the decoder explicitly, overriding the noise policy;
 	// nil means the policy's pick (the MN-Algorithm for exact batches).
 	Dec decoder.Decoder
+	// TraceID is the ingress trace identifier of the request that created
+	// the campaign; it is carried on every job of the batch (and over the
+	// remote shard wire) and echoed in every JobResult.
+	TraceID string
 }
 
 func (r Request) tenant() string {
@@ -424,6 +434,17 @@ type Store struct {
 	// latency holds the per-tenant decode-latency histograms served in
 	// /v1/stats; bounded because tenant names are caller-controlled.
 	latency *engine.LatencySet
+
+	// Dispatcher and GC counters for the metrics surface: jobs handed to
+	// the cluster, tenant rotation turns, credit grants, saturated-shard
+	// requeues, campaigns reaped by GC, and reaped campaigns that expired
+	// with unsettled jobs.
+	dispatched    atomic.Uint64
+	rotations     atomic.Uint64
+	creditsGiven  atomic.Uint64
+	requeues      atomic.Uint64
+	gcCollected   atomic.Uint64
+	expiredReaped atomic.Uint64
 
 	mu           sync.Mutex
 	nextID       int
@@ -546,6 +567,7 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 		tenant:  tenant,
 		total:   len(req.Batch),
 		noise:   req.Noise.Canon(),
+		trace:   req.TraceID,
 		ctx:     ctx,
 		cancel:  cancel,
 		changed: make(chan struct{}),
@@ -563,7 +585,7 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 			cp: cp,
 			job: engine.Job{
 				Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
-				Tag: i, OnDone: onDone,
+				Tag: i, OnDone: onDone, TraceID: req.TraceID,
 			},
 		})
 	}
@@ -674,6 +696,7 @@ func (st *Store) gcLocked(now time.Time) int {
 		// the unsettled jobs' quota to the tenant — wedged jobs would
 		// otherwise pin TenantMaxQueued forever.
 		if released := cp.expire(); released > 0 {
+			st.expiredReaped.Add(1)
 			if ts, ok := st.tenants[cp.tenant]; ok {
 				if ts.unsettled -= released; ts.unsettled < 0 {
 					ts.unsettled = 0
@@ -681,6 +704,7 @@ func (st *Store) gcLocked(now time.Time) int {
 			}
 		}
 		delete(st.byID, id)
+		st.gcCollected.Add(1)
 		collected++
 	}
 	for id, cp := range st.byID {

@@ -182,6 +182,7 @@ func (st *Store) weightOf(tenant string) int {
 func (st *Store) advanceTenantLocked() {
 	st.rrPos++
 	st.rrCredits = -1
+	st.rotations.Add(1)
 }
 
 // purgeCanceled pulls a canceled campaign's undispatched jobs out of
@@ -233,6 +234,7 @@ func (st *Store) nextPending() (pj pendingJob, ok bool) {
 		}
 		if st.rrCredits < 0 {
 			st.rrCredits = st.weightOf(name)
+			st.creditsGiven.Add(uint64(st.rrCredits))
 		}
 		st.pendingTotal--
 		pj = ts.pop()
@@ -306,12 +308,14 @@ func (st *Store) dispatchLoop() {
 		switch {
 		case err == nil:
 			// Enqueued; the shared OnDone callback settles it.
+			st.dispatched.Add(1)
 			saturatedStreak = 0
 		case errors.Is(err, engine.ErrSaturated):
 			// Backpressure, not rejection: the job goes back to the head of
 			// its shard queue and the rotation moves on. Park only once
 			// every busy tenant's turn has failed in a row.
 			st.requeueFront(pj)
+			st.requeues.Add(1)
 			saturatedStreak++
 			if saturatedStreak < st.busyQueues() {
 				continue

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"pooleddata/internal/engine"
+	"pooleddata/metrics"
+)
+
+// RegisterStoreMetrics exports the store's campaign gauges, dispatcher
+// counters, and per-tenant breakdown on reg as a scrape-time collector.
+// Tenant label values are bounded at the source (campaign retention and
+// the bounded per-tenant latency set) and backstopped by the exporter's
+// per-family series cap, so a flood of distinct tenants collapses into
+// the "other" series instead of growing the scrape. Nil-safe.
+func RegisterStoreMetrics(reg *metrics.Registry, st *Store) {
+	if reg == nil || st == nil {
+		return
+	}
+	reg.OnGather(func(e *metrics.Exporter) {
+		active, finished := st.Counts()
+		const campHelp = "Retained campaigns by state."
+		e.Gauge("pooled_campaigns", campHelp, float64(active), "state", "active")
+		e.Gauge("pooled_campaigns", campHelp, float64(finished), "state", "finished")
+
+		st.mu.Lock()
+		pending := st.pendingTotal
+		st.mu.Unlock()
+		e.Gauge("pooled_campaign_pending_jobs", "Admitted campaign jobs waiting for dispatch.", float64(pending))
+
+		e.Counter("pooled_campaign_dispatched_total", "Campaign jobs handed to the cluster by the fair dispatcher.", float64(st.dispatched.Load()))
+		e.Counter("pooled_campaign_rotations_total", "Tenant rotation turns taken by the dispatcher.", float64(st.rotations.Load()))
+		e.Counter("pooled_campaign_credits_total", "Weighted turn credits granted across rotation turns.", float64(st.creditsGiven.Load()))
+		e.Counter("pooled_campaign_requeues_total", "Jobs requeued because their shard queue was saturated.", float64(st.requeues.Load()))
+		e.Counter("pooled_campaigns_gc_total", "Campaigns reaped by retention GC.", float64(st.gcCollected.Load()))
+		e.Counter("pooled_campaigns_expired_total", "Reaped campaigns that expired with unsettled jobs.", float64(st.expiredReaped.Load()))
+
+		for name, ts := range st.Tenants() {
+			e.Gauge("pooled_tenant_active_campaigns", "Unfinished retained campaigns, per tenant.", float64(ts.Active), "tenant", name)
+			e.Gauge("pooled_tenant_finished_campaigns", "Finished retained campaigns, per tenant.", float64(ts.Finished), "tenant", name)
+			e.Gauge("pooled_tenant_pending_jobs", "Jobs awaiting dispatch, per tenant.", float64(ts.PendingJobs), "tenant", name)
+			e.Gauge("pooled_tenant_unsettled_jobs", "Admitted jobs not yet settled (the TenantMaxQueued quota gauge), per tenant.", float64(ts.UnsettledJobs), "tenant", name)
+			e.Gauge("pooled_tenant_weight", "Dispatch weight (jobs per rotation turn), per tenant.", float64(ts.Weight), "tenant", name)
+			if ts.DecodeLatency != nil {
+				engine.ExportLatency(e, "pooled_tenant_decode_seconds", "Completed-job decode latency, per tenant.", *ts.DecodeLatency, "tenant", name)
+			}
+		}
+	})
+}

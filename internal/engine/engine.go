@@ -95,6 +95,19 @@ type Stats struct {
 	// reached its decoder (completed or failed), keyed by decoder name.
 	DecodeLatency map[string]LatencyHistogram `json:"decode_latency,omitempty"`
 
+	// QueueLatency and SettleLatency are the remaining pipeline stage
+	// timers, keyed by decoder name like DecodeLatency: time between
+	// enqueue and a worker picking the job up, and time spent completing
+	// the future plus running the OnDone callback. Together with
+	// DecodeLatency they account for a job's whole life inside the
+	// engine.
+	QueueLatency  map[string]LatencyHistogram `json:"queue_latency,omitempty"`
+	SettleLatency map[string]LatencyHistogram `json:"settle_latency,omitempty"`
+
+	// NoiseQueueLatency is the queue-wait breakdown keyed by canonical
+	// noise-model key, the per-model counterpart of QueueLatency.
+	NoiseQueueLatency map[string]LatencyHistogram `json:"noise_queue_latency,omitempty"`
+
 	// JobsByNoise counts jobs that reached their decoder, keyed by the
 	// canonical noise-model key ("exact", "gaussian(sigma=0.5)",
 	// "threshold(T=2)") — the per-model breakdown /v1/stats serves.
@@ -120,27 +133,28 @@ func (s *Stats) add(src Stats) {
 	s.SignalsMeasured += src.SignalsMeasured
 	s.TotalQueueWait += src.TotalQueueWait
 	s.TotalDecodeTime += src.TotalDecodeTime
-	for name, h := range src.DecodeLatency {
-		if s.DecodeLatency == nil {
-			s.DecodeLatency = make(map[string]LatencyHistogram)
-		}
-		dst := s.DecodeLatency[name]
-		dst.merge(h)
-		s.DecodeLatency[name] = dst
-	}
+	mergeHistMap(&s.DecodeLatency, src.DecodeLatency)
+	mergeHistMap(&s.QueueLatency, src.QueueLatency)
+	mergeHistMap(&s.SettleLatency, src.SettleLatency)
+	mergeHistMap(&s.NoiseQueueLatency, src.NoiseQueueLatency)
 	for key, n := range src.JobsByNoise {
 		if s.JobsByNoise == nil {
 			s.JobsByNoise = make(map[string]uint64)
 		}
 		s.JobsByNoise[key] += n
 	}
-	for key, h := range src.NoiseLatency {
-		if s.NoiseLatency == nil {
-			s.NoiseLatency = make(map[string]LatencyHistogram)
+	mergeHistMap(&s.NoiseLatency, src.NoiseLatency)
+}
+
+// mergeHistMap accumulates src into *dst, allocating it on first use.
+func mergeHistMap(dst *map[string]LatencyHistogram, src map[string]LatencyHistogram) {
+	for key, h := range src {
+		if *dst == nil {
+			*dst = make(map[string]LatencyHistogram)
 		}
-		dst := s.NoiseLatency[key]
-		dst.merge(h)
-		s.NoiseLatency[key] = dst
+		m := (*dst)[key]
+		m.merge(h)
+		(*dst)[key] = m
 	}
 }
 
@@ -175,11 +189,14 @@ func (c *counters) snapshot() Stats {
 // pipeline. Create one with New and release its workers with Close. Safe
 // for concurrent use.
 type Engine struct {
-	cfg       Config
-	cache     *cache
-	stats     counters
-	hist      histogramSet
-	noiseHist histogramSet
+	cfg            Config
+	cache          *cache
+	stats          counters
+	hist           histogramSet
+	noiseHist      histogramSet
+	queueHist      histogramSet
+	settleHist     histogramSet
+	noiseQueueHist histogramSet
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -195,8 +212,10 @@ func New(cfg Config) *Engine {
 		jobs: make(chan *task, cfg.queueDepth()),
 	}
 	// Noise-model keys embed caller-supplied parameters (σ, T); bound the
-	// per-model breakdown so a sigma sweep cannot grow it without limit.
+	// per-model breakdowns so a sigma sweep cannot grow them without
+	// limit.
 	e.noiseHist.limit = 64
+	e.noiseQueueHist.limit = 64
 	e.cache = newCache(cfg.cacheCapacity(), &e.stats)
 	for w := 0; w < cfg.workers(); w++ {
 		e.wg.Add(1)
@@ -225,6 +244,9 @@ func (e *Engine) Stats() Stats {
 	st := e.stats.snapshot()
 	st.DecodeLatency = e.hist.snapshot()
 	st.NoiseLatency = e.noiseHist.snapshot()
+	st.QueueLatency = e.queueHist.snapshot()
+	st.SettleLatency = e.settleHist.snapshot()
+	st.NoiseQueueLatency = e.noiseQueueHist.snapshot()
 	if len(st.NoiseLatency) > 0 {
 		st.JobsByNoise = make(map[string]uint64, len(st.NoiseLatency))
 		for key, h := range st.NoiseLatency {

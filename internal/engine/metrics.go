@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"pooleddata/metrics"
+)
+
+// RegisterClusterMetrics exports the cluster's counters, stage timers,
+// and per-shard gauges on reg as scrape-time collectors. The existing
+// Stats snapshot stays the single source of truth — /metrics and
+// /v1/stats read the same numbers — so nothing is double-accounted.
+// Nil-safe: a nil registry registers nothing.
+func RegisterClusterMetrics(reg *metrics.Registry, c *Cluster) {
+	if reg == nil || c == nil {
+		return
+	}
+	reg.OnGather(func(e *metrics.Exporter) {
+		cs := c.Stats()
+		t := cs.Total
+
+		e.Counter("pooled_engine_schemes_built_total", "Design builds executed (cache misses).", float64(t.SchemesBuilt))
+		e.Counter("pooled_engine_scheme_cache_hits_total", "Scheme requests served from a completed cache entry.", float64(t.CacheHits))
+		e.Counter("pooled_engine_scheme_builds_deduped_total", "Scheme requests that joined an in-flight build.", float64(t.BuildsDeduped))
+		e.Counter("pooled_engine_scheme_evictions_total", "Schemes evicted by the LRU policy.", float64(t.Evictions))
+		e.Counter("pooled_engine_scheme_build_failures_total", "Design builds that returned an error.", float64(t.BuildFailures))
+
+		const jobsHelp = "Decode jobs by outcome: submitted, completed, failed, canceled, rejected."
+		e.Counter("pooled_engine_jobs_total", jobsHelp, float64(t.JobsSubmitted), "outcome", "submitted")
+		e.Counter("pooled_engine_jobs_total", jobsHelp, float64(t.JobsCompleted), "outcome", "completed")
+		e.Counter("pooled_engine_jobs_total", jobsHelp, float64(t.JobsFailed), "outcome", "failed")
+		e.Counter("pooled_engine_jobs_total", jobsHelp, float64(t.JobsCanceled), "outcome", "canceled")
+		e.Counter("pooled_engine_jobs_total", jobsHelp, float64(t.JobsRejected), "outcome", "rejected")
+		e.Counter("pooled_engine_jobs_consistent_total", "Completed jobs whose estimate reproduced y within the noise slack.", float64(t.Consistent))
+		e.Counter("pooled_engine_signals_measured_total", "Signals evaluated through MeasureBatch.", float64(t.SignalsMeasured))
+
+		exportLatencyMap(e, "pooled_engine_queue_wait_seconds", "Time between enqueue and a worker picking the job up, by decoder.", "decoder", t.QueueLatency)
+		exportLatencyMap(e, "pooled_engine_decode_seconds", "Time inside the decoder, by decoder.", "decoder", t.DecodeLatency)
+		exportLatencyMap(e, "pooled_engine_settle_seconds", "Time completing the future and running OnDone, by decoder.", "decoder", t.SettleLatency)
+		exportLatencyMap(e, "pooled_engine_noise_decode_seconds", "Time inside the decoder, by canonical noise-model key.", "noise", t.NoiseLatency)
+		exportLatencyMap(e, "pooled_engine_noise_queue_wait_seconds", "Queue wait by canonical noise-model key.", "noise", t.NoiseQueueLatency)
+
+		for _, sh := range cs.Shards {
+			idx := strconv.Itoa(sh.Shard)
+			e.Gauge("pooled_shard_queue_depth", "Decode jobs waiting for a worker, per shard.", float64(sh.QueueDepth), "shard", idx)
+			e.Gauge("pooled_shard_queue_capacity", "Decode queue bound, per shard.", float64(sh.QueueCapacity), "shard", idx)
+			e.Gauge("pooled_shard_workers", "Decode worker-pool size, per shard.", float64(sh.Workers), "shard", idx)
+			e.Gauge("pooled_shard_cached_schemes", "Cached (or in-flight) schemes, per shard.", float64(sh.CachedSchemes), "shard", idx)
+			healthy := 0.0
+			if sh.Healthy {
+				healthy = 1
+			}
+			e.Gauge("pooled_shard_healthy", "1 when the shard can take work (local shards are always 1; remote shards report probe state).", healthy, "shard", idx, "addr", sh.Addr)
+		}
+	})
+}
+
+// exportLatencyMap renders a map of bounded-bucket latency histograms
+// (nanosecond buckets) as one Prometheus histogram family in seconds.
+// The map keys are already bounded at the source (histogramSet limits,
+// LatencySet limits), and the exporter's own series cap backstops them.
+func exportLatencyMap(e *metrics.Exporter, name, help, label string, m map[string]LatencyHistogram) {
+	for key, h := range m {
+		ExportLatency(e, name, help, h, label, key)
+	}
+}
+
+// ExportLatency renders one LatencyHistogram as a Prometheus histogram
+// sample, converting nanosecond bucket edges and totals to seconds. lv
+// are alternating label name/value pairs, as in Exporter calls.
+func ExportLatency(e *metrics.Exporter, name, help string, h LatencyHistogram, lv ...string) {
+	upper := make([]float64, len(h.BucketUpperNS))
+	for i, ns := range h.BucketUpperNS {
+		upper[i] = time.Duration(ns).Seconds()
+	}
+	e.Histogram(name, help, upper, h.Counts, time.Duration(h.TotalNS).Seconds(), h.Count, lv...)
+}

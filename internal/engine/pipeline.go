@@ -42,6 +42,12 @@ type Job struct {
 	// on the worker goroutine, so it must be cheap and must not block; the
 	// campaign subsystem uses it for progress accounting.
 	OnDone func(Result, error)
+	// TraceID is the request-scoped trace identifier, echoed back in
+	// Result.TraceID on every settle path. The pipeline treats it as
+	// opaque; pooledd stamps the ingress Trace-ID here and the remote
+	// shard client carries it over the wire, so one job's timeline is
+	// reconstructable across frontend and worker logs.
+	TraceID string
 }
 
 func (j Job) dec() decoder.Decoder {
@@ -75,6 +81,8 @@ type Result struct {
 	// Tag echoes Job.Tag — present on every settle path, including
 	// cancellations and failures.
 	Tag int
+	// TraceID echoes Job.TraceID — present on every settle path.
+	TraceID string
 	// Support is the recovered one-entry index set, ascending.
 	Support []int
 	// Estimate is the recovered signal as a bit vector.
@@ -246,6 +254,8 @@ func (e *Engine) run(t *task) {
 	}
 	dec := t.job.dec()
 	nm := t.job.Noise.Canon()
+	e.queueHist.get(dec.Name()).observe(wait)
+	e.noiseQueueHist.get(nm.Key()).observe(wait)
 	start := time.Now()
 	est, err := dec.Decode(t.job.Scheme.G, t.job.Y, t.job.K)
 	elapsed := time.Since(start)
@@ -253,7 +263,9 @@ func (e *Engine) run(t *task) {
 	e.noiseHist.get(nm.Key()).observe(elapsed)
 	if err != nil {
 		e.stats.jobsFailed.Add(1)
+		settleStart := time.Now()
 		t.settle(Result{Decoder: dec.Name(), Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
+		e.settleHist.get(dec.Name()).observe(time.Since(settleStart))
 		return
 	}
 	res := Result{
@@ -271,14 +283,20 @@ func (e *Engine) run(t *task) {
 	}
 	e.stats.queueWaitNS.Add(int64(wait))
 	e.stats.decodeNS.Add(int64(elapsed))
+	settleStart := time.Now()
 	t.settle(res, nil)
+	// The settle timer covers future completion plus the OnDone callback —
+	// the stage where campaign accounting and fan-out bookkeeping run.
+	e.settleHist.get(dec.Name()).observe(time.Since(settleStart))
 }
 
 // settle completes the task's future and then fires OnDone. The job's
-// tag is stamped on every path so OnDone handlers can route the
-// settlement without per-job closures.
+// tag and trace ID are stamped on every path so OnDone handlers can
+// route the settlement without per-job closures and logs can correlate
+// it with its ingress request.
 func (t *task) settle(res Result, err error) {
 	res.Tag = t.job.Tag
+	res.TraceID = t.job.TraceID
 	t.fut.complete(res, err)
 	if t.job.OnDone != nil {
 		t.job.OnDone(res, err)

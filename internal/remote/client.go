@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -22,6 +24,7 @@ import (
 	"pooleddata/internal/noise"
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
+	"pooleddata/metrics"
 )
 
 // ErrWorkerUnavailable marks jobs that failed because their worker was
@@ -65,6 +68,14 @@ type Options struct {
 	MaxSchemes int
 	// BuildParallelism bounds goroutines per local design build.
 	BuildParallelism int
+	// Metrics, when set, receives the client's transport metrics:
+	// per-stage request timers (serialize/network/worker-queue/
+	// worker-decode), retries, mirrored 429s, and probe-state
+	// transitions, all labeled by worker addr. Nil records nothing.
+	Metrics *metrics.Registry
+	// Logger receives structured transport logs (health transitions,
+	// exhausted retry budgets). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (o Options) queueDepth() int {
@@ -117,6 +128,13 @@ func (o Options) maxSchemes() int {
 		return 128
 	}
 	return o.MaxSchemes
+}
+
+func (o Options) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
 }
 
 // schemeState is the client-side record of one scheme: the local graph
@@ -189,6 +207,15 @@ type Shard struct {
 
 	stop      chan struct{}
 	probeDone chan struct{}
+
+	// Transport observability: per-stage request timers and transport
+	// counters, no-ops when Options.Metrics is nil.
+	log          *slog.Logger
+	mStage       *metrics.HistogramVec
+	mRetries     *metrics.Counter
+	mSaturated   *metrics.Counter
+	mTransitions *metrics.CounterVec
+	mHealthy     *metrics.Gauge
 }
 
 var _ engine.Shard = (*Shard)(nil)
@@ -216,7 +243,21 @@ func New(opts Options) *Shard {
 		stop:      make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	s.log = opts.logger().With("worker", opts.Addr)
+	reg := opts.Metrics
+	s.mStage = reg.Histogram("pooled_remote_request_seconds",
+		"Remote decode time by stage: serialize, network, worker_queue, worker_decode, total.",
+		nil, "addr", "stage")
+	s.mRetries = reg.Counter("pooled_remote_retries_total",
+		"Decode attempts retried after a transport or worker failure.", "addr").With(opts.Addr)
+	s.mSaturated = reg.Counter("pooled_remote_saturated_total",
+		"Worker 429 responses mirrored into client-side backpressure.", "addr").With(opts.Addr)
+	s.mTransitions = reg.Counter("pooled_remote_worker_health_transitions_total",
+		"Probe-state flips, labeled by the state transitioned to.", "addr", "to")
+	s.mHealthy = reg.Gauge("pooled_remote_worker_healthy",
+		"1 while the worker's probe state is healthy.", "addr").With(opts.Addr)
 	s.healthy.Store(true)
+	s.mHealthy.Set(1)
 	for i := 0; i < opts.senders(); i++ {
 		s.wg.Add(1)
 		go s.sender()
@@ -235,6 +276,23 @@ func (s *Shard) Addr() string { return s.opts.Addr }
 // Healthy reports the probe state: false after a dead-worker failure or
 // failed probe, true again once a probe succeeds.
 func (s *Shard) Healthy() bool { return s.healthy.Load() }
+
+// setHealthy records a probe-state observation; an actual flip emits a
+// structured log and a worker_health_transitions_total increment with
+// the worker addr, so a dead (or recovered) worker is visible in logs
+// and dashboards, not just in job errors. cause names what flipped it.
+func (s *Shard) setHealthy(h bool, cause string) {
+	if !s.healthy.CompareAndSwap(!h, h) {
+		return // no transition
+	}
+	to, v := "healthy", 1.0
+	if !h {
+		to, v = "unhealthy", 0.0
+	}
+	s.mTransitions.With(s.opts.Addr, to).Inc()
+	s.mHealthy.Set(v)
+	s.log.Info("worker health transition", "to", to, "cause", cause)
+}
 
 // Close stops accepting jobs, lets the senders drain the queue (jobs
 // still settle — against the worker if it is up, with errors if not),
@@ -571,25 +629,34 @@ func (s *Shard) process(t *task) {
 		return
 	}
 	st := s.stateFor(t.job.Scheme)
-	req := decodeRequest{Scheme: st.id, K: t.job.K, Y: t.job.Y, Noise: t.job.Noise.Canon().String()}
+	req := decodeRequest{
+		Scheme: st.id, K: t.job.K, Y: t.job.Y,
+		Noise: t.job.Noise.Canon().String(), Trace: t.job.TraceID,
+	}
 	if t.job.Dec != nil {
 		req.Decoder = t.job.Dec.Name()
 	}
+	serializeStart := time.Now()
 	payload, err := json.Marshal(req)
+	serialize := time.Since(serializeStart)
 	if err != nil {
 		s.jobsFailed.Add(1)
 		t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: marshal job: %w", err))
 		return
 	}
+	s.mStage.With(s.opts.Addr, "serialize").ObserveDuration(serialize)
 
 	attempts := s.opts.retries() + 1
 	var lastErr error
 	alive, saturated := false, false
 	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 && !s.sleepBackoff(t.ctx, attempt) {
-			s.jobsCanceled.Add(1)
-			t.settle(engine.Result{Stats: stats}, t.ctx.Err())
-			return
+		if attempt > 0 {
+			s.mRetries.Inc()
+			if !s.sleepBackoff(t.ctx, attempt) {
+				s.jobsCanceled.Add(1)
+				t.settle(engine.Result{Stats: stats}, t.ctx.Err())
+				return
+			}
 		}
 		if err := s.ensure(t.ctx, st); err != nil {
 			if t.ctx.Err() != nil {
@@ -600,7 +667,7 @@ func (s *Shard) process(t *task) {
 			lastErr, alive, saturated = err, false, false
 			continue
 		}
-		status, out, errMsg, err := s.postDecode(t.ctx, payload)
+		rep, err := s.postDecode(t.ctx, payload)
 		if err != nil {
 			if t.ctx.Err() != nil {
 				s.jobsCanceled.Add(1)
@@ -611,9 +678,11 @@ func (s *Shard) process(t *task) {
 			continue
 		}
 		alive = true
-		s.healthy.Store(true)
-		switch status {
+		s.setHealthy(true, "decode request succeeded")
+		out := rep.out
+		switch rep.status {
 		case http.StatusOK:
+			s.observeStages(serialize, rep, out)
 			t.settle(engine.Result{
 				Support: out.Support,
 				Decoder: out.Decoder,
@@ -628,19 +697,20 @@ func (s *Shard) process(t *task) {
 		case http.StatusNotFound:
 			// Worker restarted or evicted the scheme: re-install and retry.
 			st.unensure()
-			lastErr, saturated = fmt.Errorf("remote: worker %s: %s", s.opts.Addr, errMsg), false
+			lastErr, saturated = fmt.Errorf("remote: worker %s: %s", s.opts.Addr, rep.errMsg), false
 		case http.StatusTooManyRequests:
 			s.markSaturated()
+			s.mSaturated.Inc()
 			lastErr = fmt.Errorf("remote: worker %s: %w", s.opts.Addr, engine.ErrSaturated)
 			saturated = true
 		case http.StatusUnprocessableEntity, http.StatusBadRequest:
 			// A decode (or validation) failure is terminal: retrying cannot
 			// change a deterministic answer.
 			s.jobsFailed.Add(1)
-			t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: worker %s: %s", s.opts.Addr, errMsg))
+			t.settle(engine.Result{Stats: stats}, fmt.Errorf("remote: worker %s: %s", s.opts.Addr, rep.errMsg))
 			return
 		default:
-			lastErr, saturated = fmt.Errorf("remote: worker %s: status %d: %s", s.opts.Addr, status, errMsg), false
+			lastErr, saturated = fmt.Errorf("remote: worker %s: status %d: %s", s.opts.Addr, rep.status, rep.errMsg), false
 		}
 	}
 
@@ -652,9 +722,34 @@ func (s *Shard) process(t *task) {
 		return
 	}
 	if !alive {
-		s.healthy.Store(false)
+		s.setHealthy(false, "retry budget exhausted: "+errString(lastErr))
+		s.log.Warn("decode retry budget exhausted", "trace_id", t.job.TraceID, "attempts", attempts, "err", lastErr)
 	}
 	t.settle(engine.Result{Stats: stats}, s.unavailableErr(lastErr))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	return err.Error()
+}
+
+// observeStages splits one successful decode round trip into the
+// per-stage timers: serialize (local marshal), network (round trip
+// minus the worker's reported handling time), worker_queue and
+// worker_decode (from the response body), plus the whole-request total.
+// The split needs no clock sync — the handle time rides a response
+// header measured on the worker's clock alone.
+func (s *Shard) observeStages(serialize time.Duration, rep decodeReply, out decodeResponse) {
+	network := rep.roundTrip - time.Duration(rep.handleNS)
+	if rep.handleNS <= 0 || network < 0 {
+		network = rep.roundTrip
+	}
+	s.mStage.With(s.opts.Addr, "network").ObserveDuration(network)
+	s.mStage.With(s.opts.Addr, "worker_queue").ObserveDuration(time.Duration(out.QueueNS))
+	s.mStage.With(s.opts.Addr, "worker_decode").ObserveDuration(time.Duration(out.DecodeNS))
+	s.mStage.With(s.opts.Addr, "total").ObserveDuration(serialize + rep.roundTrip)
 }
 
 func (s *Shard) sleepBackoff(ctx context.Context, attempt int) bool {
@@ -700,32 +795,50 @@ func (s *Shard) ensure(ctx context.Context, st *schemeState) error {
 	return nil
 }
 
+// decodeReply is one decode round trip's outcome: HTTP status, parsed
+// body (200 only), error message (non-200), plus the client-measured
+// round-trip time and the worker-reported handle time for the
+// network/worker stage split.
+type decodeReply struct {
+	status    int
+	out       decodeResponse
+	errMsg    string
+	roundTrip time.Duration
+	handleNS  int64
+}
+
 // postDecode runs one decode request. err is transport-level only;
-// HTTP-level failures come back as (status, errMsg).
-func (s *Shard) postDecode(ctx context.Context, payload []byte) (status int, out decodeResponse, errMsg string, err error) {
+// HTTP-level failures come back in the reply's (status, errMsg).
+func (s *Shard) postDecode(ctx context.Context, payload []byte) (decodeReply, error) {
 	rctx, cancel := context.WithTimeout(ctx, s.opts.requestTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodPost, s.base+decodePath, bytes.NewReader(payload))
 	if err != nil {
-		return 0, decodeResponse{}, "", err
+		return decodeReply{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
 	resp, err := s.hc.Do(req)
 	if err != nil {
-		return 0, decodeResponse{}, "", err
+		return decodeReply{}, err
 	}
 	defer drainClose(resp.Body)
+	rep := decodeReply{status: resp.StatusCode, roundTrip: time.Since(start)}
+	rep.handleNS, _ = strconv.ParseInt(resp.Header.Get(handleTimeHeader), 10, 64)
 	if resp.StatusCode == http.StatusOK {
-		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
-			return 0, decodeResponse{}, "", fmt.Errorf("remote: parse response: %w", derr)
+		if derr := json.NewDecoder(resp.Body).Decode(&rep.out); derr != nil {
+			return decodeReply{}, fmt.Errorf("remote: parse response: %w", derr)
 		}
-		return resp.StatusCode, out, "", nil
+		// The body read is part of the round trip the stage split divides.
+		rep.roundTrip = time.Since(start)
+		return rep, nil
 	}
 	var eb errorBody
 	if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error == "" {
 		eb.Error = http.StatusText(resp.StatusCode)
 	}
-	return resp.StatusCode, decodeResponse{}, eb.Error, nil
+	rep.errMsg = eb.Error
+	return rep, nil
 }
 
 func (s *Shard) probeLoop() {
@@ -753,22 +866,22 @@ func (s *Shard) probe() {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+healthPath, nil)
 	if err != nil {
-		s.healthy.Store(false)
+		s.setHealthy(false, "probe request: "+err.Error())
 		return
 	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
-		s.healthy.Store(false)
+		s.setHealthy(false, "probe: "+err.Error())
 		return
 	}
 	defer drainClose(resp.Body)
 	var h healthResponse
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil || !h.OK {
-		s.healthy.Store(false)
+		s.setHealthy(false, fmt.Sprintf("probe status %d", resp.StatusCode))
 		return
 	}
 	s.gauges.Store(&h)
-	s.healthy.Store(true)
+	s.setHealthy(true, "probe ok")
 }
 
 // drainClose discards the rest of a response body and closes it, so the

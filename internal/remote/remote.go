@@ -50,6 +50,9 @@ type decodeRequest struct {
 	Decoder string  `json:"decoder,omitempty"`
 	Noise   string  `json:"noise,omitempty"`
 	Y       []int64 `json:"y"`
+	// Trace carries the frontend's per-job trace id across the
+	// federation hop, so worker logs correlate with frontend logs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // decodeResponse mirrors engine.Result on the wire.
@@ -60,7 +63,14 @@ type decodeResponse struct {
 	Consistent bool   `json:"consistent"`
 	QueueNS    int64  `json:"queue_ns"`
 	DecodeNS   int64  `json:"decode_ns"`
+	Trace      string `json:"trace,omitempty"`
 }
+
+// handleTimeHeader carries the worker's server-side handling time
+// (nanoseconds, queue wait through response serialization) on decode
+// responses, so the client can split a request's round trip into
+// network time vs. worker time without clock synchronization.
+const handleTimeHeader = "Pooled-Handle-Ns"
 
 // healthResponse is the probe payload: liveness plus the gauges the
 // frontend surfaces per shard in /v1/stats.

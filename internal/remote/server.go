@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"pooleddata/internal/engine"
 	"pooleddata/internal/labio"
 	"pooleddata/internal/noise"
+	"pooleddata/metrics"
 )
 
 // ServerOptions sizes a worker-side shard server.
@@ -22,6 +24,13 @@ type ServerOptions struct {
 	MaxSchemes int
 	// MaxBody bounds request bodies (design uploads). 0 means 256 MiB.
 	MaxBody int64
+	// Logger receives structured per-decode logs carrying the trace id
+	// propagated from the frontend. Nil means slog.Default().
+	Logger *slog.Logger
+	// Metrics, when set, receives the server's request counters
+	// (installs, decode requests by status) and an installed-schemes
+	// gauge. Nil records nothing.
+	Metrics *metrics.Registry
 }
 
 func (o ServerOptions) maxSchemes() int {
@@ -38,6 +47,13 @@ func (o ServerOptions) maxBody() int64 {
 	return o.MaxBody
 }
 
+func (o ServerOptions) logger() *slog.Logger {
+	if o.Logger != nil {
+		return o.Logger
+	}
+	return slog.Default()
+}
+
 // Server is the worker side of the shard protocol: it serves decode
 // jobs against designs installed by its frontends, over a local engine
 // cluster. `pooledd -worker` is exactly this handler behind an
@@ -45,6 +61,10 @@ func (o ServerOptions) maxBody() int64 {
 type Server struct {
 	cluster *engine.Cluster
 	opts    ServerOptions
+	log     *slog.Logger
+
+	mInstalls *metrics.Counter
+	mDecodes  *metrics.CounterVec
 
 	mu      sync.Mutex
 	schemes map[string]*engine.Scheme
@@ -54,11 +74,21 @@ type Server struct {
 // NewServer builds a shard server over the cluster. The caller owns the
 // cluster's lifecycle (Close).
 func NewServer(cluster *engine.Cluster, opts ServerOptions) *Server {
-	return &Server{
+	s := &Server{
 		cluster: cluster,
 		opts:    opts,
+		log:     opts.logger(),
 		schemes: make(map[string]*engine.Scheme),
 	}
+	reg := opts.Metrics
+	s.mInstalls = reg.Counter("pooled_worker_scheme_installs_total",
+		"Designs installed through PUT /shard/v1/schemes.").With()
+	s.mDecodes = reg.Counter("pooled_worker_decode_requests_total",
+		"Shard decode requests by HTTP status.", "status")
+	reg.OnGather(func(e *metrics.Exporter) {
+		e.Gauge("pooled_worker_installed_schemes", "Schemes resident in the worker's install registry.", float64(s.SchemeCount()))
+	})
+	return s
 }
 
 // Handler returns the shard API handler.
@@ -119,6 +149,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		delete(s.schemes, oldest)
 	}
 	s.mu.Unlock()
+	s.mInstalls.Inc()
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -142,26 +173,37 @@ func (s *Server) SchemeCount() int {
 // produces. An unknown scheme answers 404 so the client re-installs —
 // the recovery path after a worker restart or registry eviction.
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	// The handle-time header lets the client split its round trip into
+	// network vs. worker time from one clock: everything after this
+	// point (parse, queue, decode, serialize) is worker time.
+	fail := func(code int, format string, args ...any) {
+		status = code
+		writeError(w, code, format, args...)
+	}
+	defer func() { s.mDecodes.With(strconv.Itoa(status)).Inc() }()
+
 	var req decodeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "parse request: %v", err)
+		fail(http.StatusBadRequest, "parse request: %v", err)
 		return
 	}
 	es, ok := s.lookup(req.Scheme)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown scheme %q", req.Scheme)
+		fail(http.StatusNotFound, "unknown scheme %q", req.Scheme)
 		return
 	}
 	nm, err := noise.Parse(req.Noise)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad noise: %v", err)
+		fail(http.StatusBadRequest, "bad noise: %v", err)
 		return
 	}
-	job := engine.Job{Scheme: es, Y: req.Y, K: req.K, Noise: nm}
+	job := engine.Job{Scheme: es, Y: req.Y, K: req.K, Noise: nm, TraceID: req.Trace}
 	if req.Decoder != "" {
 		dec, err := engine.DecoderByName(req.Decoder)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			fail(http.StatusBadRequest, "%v", err)
 			return
 		}
 		job.Dec = dec
@@ -170,20 +212,26 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, engine.ErrSaturated):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(es)))
-		writeError(w, http.StatusTooManyRequests, "decode queue saturated")
+		fail(http.StatusTooManyRequests, "decode queue saturated")
 		return
 	case errors.Is(err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "engine closed")
+		fail(http.StatusServiceUnavailable, "engine closed")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		fail(http.StatusBadRequest, "%v", err)
 		return
 	}
 	res, err := fut.Wait(r.Context())
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "decode: %v", err)
+		s.log.Warn("decode failed", "trace_id", req.Trace, "scheme", req.Scheme, "err", err)
+		fail(http.StatusUnprocessableEntity, "decode: %v", err)
 		return
 	}
+	s.log.Info("decode",
+		"trace_id", req.Trace, "scheme", req.Scheme, "decoder", res.Decoder,
+		"k", req.K, "consistent", res.Stats.Consistent,
+		"queue_ns", int64(res.Stats.QueueWait), "decode_ns", int64(res.Stats.DecodeTime))
+	w.Header().Set(handleTimeHeader, strconv.FormatInt(int64(time.Since(start)), 10))
 	writeJSON(w, http.StatusOK, decodeResponse{
 		Support:    res.Support,
 		Decoder:    res.Decoder,
@@ -191,6 +239,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		Consistent: res.Stats.Consistent,
 		QueueNS:    int64(res.Stats.QueueWait),
 		DecodeNS:   int64(res.Stats.DecodeTime),
+		Trace:      req.Trace,
 	})
 }
 

@@ -1,0 +1,443 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders gathered families in the Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then
+// one line per series; histograms expand into cumulative _bucket series
+// (le labels, trailing +Inf) plus _sum and _count. Output is
+// deterministic for a deterministic Gather.
+func WriteText(w io.Writer, fams []Family) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range fams {
+		if fam.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", fam.Name, escapeHelp(fam.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Samples {
+			switch fam.Type {
+			case TypeHistogram:
+				writeHistogram(bw, fam, s)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", fam.Name, labelString(fam.Labels, s.Values, "", 0), formatFloat(s.Value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, fam Family, s Sample) {
+	var cum uint64
+	for i, ub := range fam.Upper {
+		if i < len(s.Buckets) {
+			cum += s.Buckets[i]
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.Name, labelString(fam.Labels, s.Values, "le", ub), cum)
+	}
+	// The overflow bucket folds into +Inf, which must equal _count.
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", fam.Name, labelString(fam.Labels, s.Values, "le", math.Inf(1)), s.Count)
+	fmt.Fprintf(bw, "%s_sum%s %s\n", fam.Name, labelString(fam.Labels, s.Values, "", 0), formatFloat(s.Sum))
+	fmt.Fprintf(bw, "%s_count%s %d\n", fam.Name, labelString(fam.Labels, s.Values, "", 0), s.Count)
+}
+
+// labelString renders {a="x",b="y"} with optional trailing le bound;
+// empty when there are no labels at all.
+func labelString(labels, values []string, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(le)
+		b.WriteString(`="`)
+		b.WriteString(formatFloat(bound))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Lint validates a Prometheus text exposition without external
+// dependencies — the checker behind `make metrics-lint`. It enforces
+// the rules a scraper actually depends on:
+//
+//   - metric and label names match the Prometheus grammar
+//   - every sample belongs to a family with a single # TYPE, declared
+//     with a known type, and histogram _bucket/_sum/_count samples
+//     resolve to their base family
+//   - label values are well-formed quoted strings with valid escapes;
+//     _bucket series carry an le label
+//   - sample values parse as floats (+Inf/-Inf/NaN allowed)
+//   - no duplicate series
+//   - each histogram series has a +Inf bucket, cumulative
+//     non-decreasing bucket counts, and +Inf equal to its _count
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	hists := make(map[string]*histCheck) // family + sorted non-le labels
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := lintComment(text, types); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			continue
+		}
+		if err := lintSample(text, types, seen, hists); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, hc := range hists {
+		if err := hc.check(); err != nil {
+			return fmt.Errorf("histogram %s: %w", key, err)
+		}
+	}
+	return nil
+}
+
+type histCheck struct {
+	bounds []float64
+	counts []float64
+	sum    *float64
+	count  *float64
+}
+
+func (hc *histCheck) check() error {
+	if hc.count == nil {
+		return fmt.Errorf("missing _count")
+	}
+	if hc.sum == nil {
+		return fmt.Errorf("missing _sum")
+	}
+	// Sort buckets by bound, then require cumulative non-decreasing
+	// counts ending at a +Inf bucket equal to _count.
+	idx := make([]int, len(hc.bounds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return hc.bounds[idx[i]] < hc.bounds[idx[j]] })
+	prev := math.Inf(-1)
+	prevCount := -1.0
+	hasInf := false
+	for _, i := range idx {
+		if hc.bounds[i] == prev {
+			return fmt.Errorf("duplicate le=%v bucket", prev)
+		}
+		prev = hc.bounds[i]
+		if hc.counts[i] < prevCount {
+			return fmt.Errorf("bucket counts not cumulative at le=%v", hc.bounds[i])
+		}
+		prevCount = hc.counts[i]
+		if math.IsInf(hc.bounds[i], 1) {
+			hasInf = true
+			if hc.counts[i] != *hc.count {
+				return fmt.Errorf("+Inf bucket %v != _count %v", hc.counts[i], *hc.count)
+			}
+		}
+	}
+	if !hasInf {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	return nil
+}
+
+func lintComment(text string, types map[string]string) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line")
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line")
+		}
+	}
+	return nil
+}
+
+func lintSample(text string, types map[string]string, seen map[string]bool, hists map[string]*histCheck) error {
+	name, rest, err := scanName(text)
+	if err != nil {
+		return err
+	}
+	labels, values, rest, err := scanLabels(rest)
+	if err != nil {
+		return err
+	}
+	valueStr := strings.Fields(rest)
+	if len(valueStr) < 1 || len(valueStr) > 2 {
+		return fmt.Errorf("expected value (and optional timestamp) after series")
+	}
+	value, err := parseValue(valueStr[0])
+	if err != nil {
+		return fmt.Errorf("bad sample value %q: %v", valueStr[0], err)
+	}
+	if len(valueStr) == 2 {
+		if _, err := strconv.ParseInt(valueStr[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", valueStr[1])
+		}
+	}
+
+	// Resolve the family: histogram component samples attach to their
+	// base family's TYPE declaration.
+	family, suffix := name, ""
+	if _, ok := types[name]; !ok {
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+	}
+	typ, ok := types[family]
+	if !ok {
+		return fmt.Errorf("sample %q has no # TYPE declaration", name)
+	}
+	if typ == "histogram" && family == name {
+		return fmt.Errorf("histogram %q exposed without _bucket/_sum/_count suffix", name)
+	}
+
+	// le handling + duplicate-series detection on the full label set.
+	var le string
+	nonLE := make([]string, 0, len(labels))
+	for i, l := range labels {
+		if !validLabelName(l) {
+			return fmt.Errorf("invalid label name %q", l)
+		}
+		if l == "le" {
+			le = values[i]
+			continue
+		}
+		nonLE = append(nonLE, l+"="+values[i])
+	}
+	sort.Strings(nonLE)
+	seriesID := name + "{" + strings.Join(nonLE, ",") + "}"
+	if suffix == "_bucket" {
+		if le == "" {
+			return fmt.Errorf("%s_bucket sample missing le label", family)
+		}
+		seriesID += "{le=" + le + "}"
+	}
+	if seen[seriesID] {
+		return fmt.Errorf("duplicate series %s", seriesID)
+	}
+	seen[seriesID] = true
+
+	if suffix != "" {
+		key := family + "{" + strings.Join(nonLE, ",") + "}"
+		hc := hists[key]
+		if hc == nil {
+			hc = &histCheck{}
+			hists[key] = hc
+		}
+		switch suffix {
+		case "_bucket":
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("bad le value %q", le)
+			}
+			hc.bounds = append(hc.bounds, bound)
+			hc.counts = append(hc.counts, value)
+		case "_sum":
+			hc.sum = &value
+		case "_count":
+			hc.count = &value
+		}
+	}
+	return nil
+}
+
+// scanName splits the leading metric name from a sample line.
+func scanName(text string) (name, rest string, err error) {
+	end := len(text)
+	for i := 0; i < len(text); i++ {
+		if text[i] == '{' || text[i] == ' ' || text[i] == '\t' {
+			end = i
+			break
+		}
+	}
+	name = text[:end]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, text[end:], nil
+}
+
+// scanLabels parses an optional {k="v",...} block, handling escapes.
+func scanLabels(text string) (labels, values []string, rest string, err error) {
+	if !strings.HasPrefix(text, "{") {
+		return nil, nil, text, nil
+	}
+	i := 1
+	for {
+		// skip whitespace and detect end
+		for i < len(text) && (text[i] == ' ' || text[i] == ',') {
+			i++
+		}
+		if i < len(text) && text[i] == '}' {
+			return labels, values, text[i+1:], nil
+		}
+		start := i
+		for i < len(text) && text[i] != '=' {
+			i++
+		}
+		if i >= len(text) {
+			return nil, nil, "", fmt.Errorf("unterminated label block")
+		}
+		labels = append(labels, text[start:i])
+		i++ // '='
+		if i >= len(text) || text[i] != '"' {
+			return nil, nil, "", fmt.Errorf("label value must be quoted")
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return nil, nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := text[i]
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return nil, nil, "", fmt.Errorf("dangling escape in label value")
+				}
+				switch text[i+1] {
+				case '\\', '"':
+					val.WriteByte(text[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, nil, "", fmt.Errorf("invalid escape \\%c in label value", text[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		values = append(values, val.String())
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

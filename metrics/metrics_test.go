@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildRegistry assembles one of every instrument kind, including label
+// values that need escaping, so the golden exposition exercises the
+// whole writer.
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	jobs := r.Counter("demo_jobs_total", "Jobs by outcome.", "outcome")
+	jobs.With("completed").Add(3)
+	jobs.With("failed").Inc()
+	r.Gauge("demo_queue_depth", "Jobs queued right now.").With().Set(7)
+	esc := r.Gauge("demo_escapes", `Label escaping: backslash \ and newline.`, "value")
+	esc.With(`quote " backslash \ newline` + "\n" + `end`).Set(1)
+	lat := r.Histogram("demo_latency_seconds", "Request latency.", []float64{0.1, 0.5, 2.5}, "stage")
+	for _, v := range []float64{0.05, 0.2, 0.3, 1, 9} {
+		lat.With("decode").Observe(v)
+	}
+	lat.With("queue").ObserveDuration(50 * time.Millisecond)
+	r.OnGather(func(e *Exporter) {
+		e.Counter("demo_collected_total", "A scrape-time collector sample.", 42, "source", "snapshot")
+		e.Histogram("demo_collected_seconds", "A scrape-time histogram.",
+			[]float64{0.001, 1}, []uint64{2, 1, 1}, 3.5, 4)
+	})
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, buildRegistry().Gather()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionLintsClean(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteText(&sb, buildRegistry().Gather()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("our own exposition fails the linter: %v", err)
+	}
+}
+
+func TestLintRejects(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no type declaration", "orphan_total 1\n"},
+		{"bad metric name", "# TYPE 9bad counter\n9bad 1\n"},
+		{"unknown type", "# TYPE x frobnicator\nx 1\n"},
+		{"duplicate type", "# TYPE x counter\n# TYPE x counter\nx 1\n"},
+		{"bad value", "# TYPE x counter\nx pancake\n"},
+		{"duplicate series", "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n"},
+		{"histogram missing +Inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"histogram not cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n"},
+		{"+Inf not equal to count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 5\n"},
+		{"histogram without suffix", "# TYPE h histogram\nh 3\n"},
+		{"bad label name", "# TYPE x counter\nx{0bad=\"v\"} 1\n"},
+		{"unquoted label value", "# TYPE x counter\nx{a=v} 1\n"},
+		{"bad escape", "# TYPE x counter\nx{a=\"\\q\"} 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := Lint(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("linter accepted malformed input:\n%s", tc.in)
+			}
+		})
+	}
+}
+
+func TestLintAcceptsEscapesAndTimestamps(t *testing.T) {
+	in := "# HELP x A help line.\n# TYPE x counter\n" +
+		"x{a=\"with \\\"quotes\\\" and \\\\ and \\n\"} 1 1712000000000\n"
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("linter rejected valid exposition: %v", err)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "", "l").With("v").Inc()
+	r.Gauge("y", "").With().Set(3)
+	r.Histogram("z_seconds", "", nil).With().Observe(0.5)
+	r.OnGather(func(e *Exporter) {})
+	if fams := r.Gather(); fams != nil {
+		t.Fatalf("nil registry gathered %d families", len(fams))
+	}
+}
+
+func TestDirectSeriesOverflow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flood_total", "", "tenant")
+	for i := 0; i < 10*DefaultMaxSeries; i++ {
+		c.With(fmt.Sprintf("tenant-%d", i)).Inc()
+	}
+	fams := r.Gather()
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	fam := fams[0]
+	if len(fam.Samples) > DefaultMaxSeries+1 {
+		t.Fatalf("family grew to %d series despite the bound", len(fam.Samples))
+	}
+	var overflow, total float64
+	for _, s := range fam.Samples {
+		total += s.Value
+		if s.Values[0] == OverflowLabel {
+			overflow = s.Value
+		}
+	}
+	if total != 10*DefaultMaxSeries {
+		t.Fatalf("observations lost: total %v, want %v", total, 10*DefaultMaxSeries)
+	}
+	if overflow == 0 {
+		t.Fatal("no overflow series despite exceeding the bound")
+	}
+}
+
+func TestExporterSeriesOverflow(t *testing.T) {
+	r := NewRegistry()
+	r.OnGather(func(e *Exporter) {
+		for i := 0; i < 3*DefaultMaxSeries; i++ {
+			e.Gauge("flood_gauge", "", 1, "tenant", fmt.Sprintf("t%d", i))
+		}
+	})
+	fams := r.Gather()
+	if len(fams) != 1 {
+		t.Fatalf("got %d families, want 1", len(fams))
+	}
+	if n := len(fams[0].Samples); n > DefaultMaxSeries+1 {
+		t.Fatalf("collector family grew to %d series despite the bound", n)
+	}
+	// The overflow tuple carries everything past the cap.
+	var sb strings.Builder
+	if err := WriteText(&sb, fams); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lint(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("overflowed exposition fails lint: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "", []float64{1, 2}, "l").With("x")
+	for _, v := range []float64{0.5, 1.5, 3, 4} {
+		h.Observe(v)
+	}
+	fams := r.Gather()
+	s := fams[0].Samples[0]
+	want := []uint64{1, 1, 2}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %d, want %d (buckets %v)", i, s.Buckets[i], b, s.Buckets)
+		}
+	}
+	if s.Count != 4 || s.Sum != 9 {
+		t.Fatalf("count=%d sum=%v, want 4 and 9", s.Count, s.Sum)
+	}
+}
+
+func TestFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "first", "l")
+	b := r.Counter("same_total", "second", "l")
+	a.With("x").Inc()
+	b.With("x").Inc()
+	fams := r.Gather()
+	if len(fams) != 1 || fams[0].Help != "first" {
+		t.Fatalf("re-registration did not return the first family: %+v", fams)
+	}
+	if fams[0].Samples[0].Value != 2 {
+		t.Fatalf("shared family lost an increment: %v", fams[0].Samples[0].Value)
+	}
+}
