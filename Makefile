@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote metrics-lint clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote bench-kernels bench-smoke fuzz-seeds metrics-lint clean
 
 all: build vet test
 
@@ -44,6 +44,32 @@ bench-stream:
 # shard — the per-job wire overhead a deployment amortizes by batching.
 bench-remote:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkRemoteShardDecode' -benchtime 100x ./internal/remote
+
+# Machine-readable kernel numbers: the decode kernels (bit-sliced batch
+# vs scalar), the noisy batch path, and the remote/batched wire parity,
+# written as BENCH_kernels.json (name -> ns/op, B/op, allocs/op) for CI
+# to archive and for regression tooling to diff.
+bench-kernels:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/benchjson ./cmd/benchjson; \
+	{ $(GO) test -short -run '^$$' -benchmem \
+	    -bench 'BenchmarkNoisyBatchDecode|BenchmarkMNDecode|BenchmarkQueryExecute|BenchmarkOneDesignManySignals' \
+	    -benchtime 1x . ; \
+	  $(GO) test -short -run '^$$' -benchmem \
+	    -bench 'BenchmarkRemoteShardDecode' -benchtime 20x ./internal/remote ; } \
+	| tee /dev/stderr | $$tmp/benchjson > BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
+
+# One -race iteration of every benchmark: catches data races that only
+# the benchmark drivers exercise (burst submits, coalesced senders)
+# without paying for a timed run.
+bench-smoke:
+	$(GO) test -short -race -run '^$$' -bench . -benchtime 1x ./...
+
+# Replay the checked-in fuzz corpus seeds (no open-ended fuzzing): the
+# frame parsers must handle every archived hostile input cleanly.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/remote
 
 # Scrape a live frontend + worker pair and run both expositions through
 # promcheck (the in-repo, dependency-free Prometheus text-format linter).

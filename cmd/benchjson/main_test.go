@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pooleddata
+BenchmarkNoisyBatchDecode/gaussian-8         	       5	 224000000 ns/op
+BenchmarkRemoteShardDecode/remote-batch64-8  	      33	  35323774 ns/op	 3100000 B/op	    2590 allocs/op
+some test log line that is not a benchmark
+PASS
+ok  	pooleddata	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc := document{Benchmarks: map[string]result{}}
+	sc := bufio.NewScanner(strings.NewReader(sample))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r result
+		if err := parseMeasurements(m[3], &r); err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		doc.Benchmarks[m[1]] = r
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	g, ok := doc.Benchmarks["BenchmarkNoisyBatchDecode/gaussian"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", doc.Benchmarks)
+	}
+	if g.NsPerOp != 224000000 {
+		t.Fatalf("ns/op = %v, want 224000000", g.NsPerOp)
+	}
+	if g.AllocsPerOp != nil {
+		t.Fatal("allocs reported for a benchmark without -benchmem fields")
+	}
+	r := doc.Benchmarks["BenchmarkRemoteShardDecode/remote-batch64"]
+	if r.BytesPerOp == nil || *r.BytesPerOp != 3100000 {
+		t.Fatalf("B/op = %v, want 3100000", r.BytesPerOp)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 2590 {
+		t.Fatalf("allocs/op = %v, want 2590", r.AllocsPerOp)
+	}
+}
+
+func TestRejectsEmptyInput(t *testing.T) {
+	err := run(bufio.NewScanner(strings.NewReader("PASS\nok\n")), nil)
+	if err == nil {
+		t.Fatal("run accepted input with no benchmark lines")
+	}
+}

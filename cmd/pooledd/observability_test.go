@@ -145,8 +145,13 @@ func TestObservabilityFederatedE2E(t *testing.T) {
 	sh := remote.New(remote.Options{
 		Addr:          worker.Listener.Addr().String(),
 		ProbeInterval: 25 * time.Millisecond,
-		Metrics:       freg,
-		Logger:        flog,
+		// The stage-accounting assertions below (one observation per
+		// stage per job, components ≤ total) only hold when every job
+		// rides its own request, so batch coalescing is off here; the
+		// batched transport's accounting is covered in internal/remote.
+		CoalesceWindow: -1,
+		Metrics:        freg,
+		Logger:         flog,
 	})
 	t.Cleanup(sh.Close)
 	fCluster := engine.NewClusterOf(sh)

@@ -108,11 +108,29 @@ func (v *Vector) Weight() int {
 // one. It panics if lengths differ.
 func (v *Vector) Overlap(u *Vector) int {
 	v.sameLen(u)
-	o := 0
-	for i, word := range v.words {
-		o += bits.OnesCount64(word & u.words[i])
+	return AndPopcount(v.words, u.words)
+}
+
+// Words returns the packed 64-bit words backing v, least-significant bit
+// first: bit i lives at words[i/64] position i%64, and bits at positions
+// >= Len() are always zero. The slice aliases internal storage and must
+// not be modified — it exists so word-parallel kernels (query batch
+// execution, frame packing) can read the vector without per-bit Get
+// calls.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// AndPopcount returns popcount(a AND b) over the common prefix of the
+// two word slices — the word-parallel inner product of two packed binary
+// rows, 64 positions per bits.OnesCount64.
+func AndPopcount(a, b []uint64) int {
+	if len(b) < len(a) {
+		a = a[:len(b)]
 	}
-	return o
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
 }
 
 // Hamming returns the Hamming distance between v and u.

@@ -1,0 +1,58 @@
+package bitvec
+
+import "fmt"
+
+// Slab is a transposed batch of B equal-length signal vectors: where a
+// Vector packs one signal's n entries into words, a Slab packs, for each
+// entry e, the e-th bit of up to 64 signals into one word. Lane l covers
+// signals l·64 .. l·64+63; bit b of Lane(l)[e] is signal (l·64+b)'s value
+// at entry e. A kernel walking a query's entry list therefore loads one
+// word per (entry, lane) and scores 64 signals at once, instead of
+// issuing B per-signal membership tests per entry.
+//
+// A Slab is an immutable snapshot: mutating the source vectors after
+// NewSlab does not update it. Safe for concurrent reads.
+type Slab struct {
+	n, b  int
+	lanes [][]uint64
+}
+
+// NewSlab transposes the given signals into lane form. All signals must
+// share one length; it panics otherwise. Building costs O(Σ weights) via
+// set-bit iteration, so sparse batches transpose in time proportional to
+// their support, not n·B.
+func NewSlab(signals []*Vector) *Slab {
+	b := len(signals)
+	s := &Slab{b: b}
+	if b == 0 {
+		return s
+	}
+	s.n = signals[0].Len()
+	s.lanes = make([][]uint64, (b+63)/64)
+	for l := range s.lanes {
+		s.lanes[l] = make([]uint64, s.n)
+	}
+	for bi, sig := range signals {
+		if sig.Len() != s.n {
+			panic(fmt.Sprintf("bitvec: slab signal %d has length %d, want %d", bi, sig.Len(), s.n))
+		}
+		lane := s.lanes[bi>>6]
+		bit := uint64(1) << (uint(bi) & 63)
+		sig.ForEachSet(func(e int) { lane[e] |= bit })
+	}
+	return s
+}
+
+// Len returns the signal length n shared by every lane.
+func (s *Slab) Len() int { return s.n }
+
+// Signals returns the batch size B.
+func (s *Slab) Signals() int { return s.b }
+
+// Lanes returns the number of 64-signal lanes, ⌈B/64⌉.
+func (s *Slab) Lanes() int { return len(s.lanes) }
+
+// Lane returns lane l, indexed by entry: bit b of Lane(l)[e] is signal
+// (l·64+b)'s value at entry e; bits beyond the batch size are zero. The
+// slice aliases internal storage and must not be modified.
+func (s *Slab) Lane(l int) []uint64 { return s.lanes[l] }

@@ -1,0 +1,67 @@
+package bitvec
+
+import (
+	"testing"
+
+	"pooleddata/internal/rng"
+)
+
+func TestSlabTransposeRoundTrip(t *testing.T) {
+	const n = 203
+	for _, batch := range []int{0, 1, 63, 64, 65, 130} {
+		sigs := make([]*Vector, batch)
+		for b := range sigs {
+			sigs[b] = Random(n, b%17, rng.NewRandSeeded(uint64(b+1)))
+		}
+		s := NewSlab(sigs)
+		if s.Signals() != batch {
+			t.Fatalf("batch %d: Signals() = %d", batch, s.Signals())
+		}
+		if batch > 0 && s.Len() != n {
+			t.Fatalf("batch %d: Len() = %d, want %d", batch, s.Len(), n)
+		}
+		if want := (batch + 63) / 64; s.Lanes() != want {
+			t.Fatalf("batch %d: Lanes() = %d, want %d", batch, s.Lanes(), want)
+		}
+		for b, sig := range sigs {
+			lane := s.Lane(b >> 6)
+			bit := uint64(1) << (uint(b) & 63)
+			for e := 0; e < n; e++ {
+				if got := lane[e]&bit != 0; got != sig.Get(e) {
+					t.Fatalf("batch %d signal %d entry %d: slab %v, vector %v", batch, b, e, got, sig.Get(e))
+				}
+			}
+		}
+		// Bits beyond the batch size stay zero in the last lane.
+		if batch%64 != 0 && batch > 0 {
+			lane := s.Lane(s.Lanes() - 1)
+			mask := ^uint64(0) << (uint(batch) & 63)
+			for e, w := range lane {
+				if w&mask != 0 {
+					t.Fatalf("batch %d: stray bits %#x at entry %d", batch, w&mask, e)
+				}
+			}
+		}
+	}
+}
+
+func TestSlabPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSlab accepted mismatched lengths")
+		}
+	}()
+	NewSlab([]*Vector{New(10), New(11)})
+}
+
+func TestAndPopcountMatchesOverlap(t *testing.T) {
+	r := rng.NewRandSeeded(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(r.Uint64n(300))
+		a := Random(n, int(r.Uint64n(uint64(n+1))), r)
+		b := Random(n, int(r.Uint64n(uint64(n+1))), r)
+		if got, want := AndPopcount(a.Words(), b.Words()), a.Overlap(b); got != want {
+			t.Fatalf("n=%d: AndPopcount %d, Overlap %d", n, got, want)
+		}
+	}
+}

@@ -315,8 +315,14 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 	}
 
 	// Candidate insertions: best-scoring zeros. Candidate removals: all
-	// current ones (k of them).
-	order := parsort.SortDesc(res.Scores)
+	// current ones (k of them). At most k of the top k+pool scores are
+	// selected entries, so that prefix always yields pool candidates —
+	// no need to rank all n scores.
+	top := k + pool
+	if top > g.N() {
+		top = g.N()
+	}
+	order := parsort.TopKDesc(res.Scores, top)
 	candIn := make([]int, 0, pool)
 	for _, i := range order {
 		if !est.Get(int(i)) {
@@ -328,22 +334,32 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 	}
 
 	// outAdj[j] is the multiplicity of the current removal candidate in
-	// query j, filled (and cleared) once per candidate so each swapDelta
-	// is O(deg(out) + deg(in)) instead of O(deg(out)·deg(in)).
+	// query j and outMask its packed membership over queries, both filled
+	// (and cleared) once per candidate so each swapDelta is O(deg(in))
+	// instead of O(deg(out) + deg(in)): the removal half of the delta is
+	// identical for every insertion candidate and hoisted out of the
+	// candidate loop, and the insertion half tests "does out touch query
+	// j" with one word-indexed bit instead of a dense int64 load.
 	outAdj := make([]int64, g.M())
+	outMask := bitvec.New(g.M())
 	for pass := 0; pass < passes && misfit > 0; pass++ {
 		improved := false
 		ones := est.Support()
 		for _, out := range ones {
 			qsOut, muOut := g.EntryQueries(out)
+			var removeDelta int64
 			for p, j := range qsOut {
 				outAdj[j] = int64(muOut[p])
+				outMask.Set(int(j))
+				before := abs64(y[j] - pred[j])
+				after := abs64(y[j] - (pred[j] - int64(muOut[p])))
+				removeDelta += after - before
 			}
 			for ci, in := range candIn {
 				if in < 0 || est.Get(in) {
 					continue
 				}
-				delta := swapDelta(g, y, pred, outAdj, qsOut, muOut, in)
+				delta := removeDelta + insertDelta(g, y, pred, outAdj, outMask.Words(), in)
 				if delta < 0 {
 					// Commit the swap.
 					qsIn, muIn := g.EntryQueries(in)
@@ -363,6 +379,7 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 			}
 			for _, j := range qsOut {
 				outAdj[j] = 0
+				outMask.Clear(int(j))
 			}
 			if misfit == 0 {
 				break
@@ -375,21 +392,21 @@ func (d Refined) Decode(g *graph.Bipartite, y []int64, k int) (*bitvec.Vector, e
 	return est, nil
 }
 
-// swapDelta returns the change in L1 misfit if entry out is dropped and
-// entry in is added, given current predictions pred. outAdj is out's
-// per-query multiplicity (dense over queries, zero elsewhere), qsOut and
-// muOut its edge list.
-func swapDelta(g *graph.Bipartite, y, pred, outAdj []int64, qsOut []int32, muOut []int32, in int) int64 {
+// insertDelta returns the change in L1 misfit contributed by adding
+// entry in, on top of an already-applied removal described by outAdj
+// (the removed entry's dense per-query multiplicity) and outWords (its
+// packed query membership). The word-indexed bit test keeps the common
+// disjoint-neighborhood case to one load per query, reading outAdj only
+// where the two neighborhoods actually intersect.
+func insertDelta(g *graph.Bipartite, y, pred, outAdj []int64, outWords []uint64, in int) int64 {
 	var delta int64
-	for p, j := range qsOut {
-		before := abs64(y[j] - pred[j])
-		after := abs64(y[j] - (pred[j] - int64(muOut[p])))
-		delta += after - before
-	}
 	qsIn, muIn := g.EntryQueries(in)
 	for p, j := range qsIn {
 		// If j is also touched by out, account on top of the removal.
-		adj := outAdj[j]
+		var adj int64
+		if outWords[j>>6]&(1<<(uint(j)&63)) != 0 {
+			adj = outAdj[j]
+		}
 		before := abs64(y[j] - (pred[j] - adj))
 		after := abs64(y[j] - (pred[j] - adj + int64(muIn[p])))
 		delta += after - before

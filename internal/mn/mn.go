@@ -19,11 +19,12 @@ package mn
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/graph"
 	"pooleddata/internal/parsort"
-	"pooleddata/internal/sparse"
 )
 
 // Options tunes the decoder.
@@ -62,18 +63,73 @@ func Reconstruct(g *graph.Bipartite, y []int64, k int, opts Options) *Result {
 
 	// Ψ = M·y with M the unweighted entry-side adjacency: multi-edges
 	// collapse to a single 1, so each neighboring query's result counts
-	// once, exactly as Algorithm 1 line 5 demands.
-	m := sparse.EntryAdjacency(g)
-	psi := m.MulVecParallel(y, nil, opts.Workers)
-
-	// Score_i = Ψ_i − Δ*_i·k/2 (line 7). Δ* comes straight off the CSR.
+	// once, exactly as Algorithm 1 line 5 demands. The graph's entry-side
+	// CSR already lists each entry's distinct queries, so Ψ is summed
+	// straight off it — materializing the adjacency as a sparse matrix
+	// (as earlier revisions did) costs a fresh O(n + incidences)
+	// allocation per decode that GC-dominates batched workloads.
+	// Binary responses (threshold oracles) additionally pack y into words
+	// so the membership sum reads one bit, not one int64, per neighbor.
 	scores := make([]float64, n)
 	halfK := float64(k) / 2
-	distinct := make([]int64, n)
-	for i := 0; i < n; i++ {
-		d := int64(g.DistinctDegree(i))
-		distinct[i] = d
-		scores[i] = float64(psi[i]) - float64(d)*halfK
+	var psi, distinct []int64
+	if opts.KeepScores {
+		psi = make([]int64, n)
+		distinct = make([]int64, n)
+	}
+	var yw []uint64
+	if binaryResponses(y) {
+		yw = make([]uint64, (len(y)+63)/64)
+		for j, v := range y {
+			yw[j>>6] |= uint64(v) << (uint(j) & 63)
+		}
+	}
+	score := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qs, _ := g.EntryQueries(i)
+			var p int64
+			if yw != nil {
+				for _, j := range qs {
+					p += int64(yw[j>>6] >> (uint(j) & 63) & 1)
+				}
+			} else {
+				for _, j := range qs {
+					p += y[j]
+				}
+			}
+			d := int64(len(qs))
+			if psi != nil {
+				psi[i] = p
+				distinct[i] = d
+			}
+			scores[i] = float64(p) - float64(d)*halfK
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// With few incidences the fan-out overhead dominates; run inline.
+	if g.DistinctPairs() < 1<<14 {
+		workers = 1
+	}
+	if workers <= 1 {
+		score(0, n)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				score(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 
 	top := parsort.TopK(scores, k)
@@ -89,6 +145,17 @@ func Reconstruct(g *graph.Bipartite, y []int64, k int, opts Options) *Result {
 		res.DistinctDeg = distinct
 	}
 	return res
+}
+
+// binaryResponses reports whether every query result is 0 or 1 — the
+// threshold-oracle shape whose Ψ sums reduce to packed bit reads.
+func binaryResponses(y []int64) bool {
+	for _, v := range y {
+		if v&^1 != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ReconstructSequential is the textbook single-threaded rendition of

@@ -19,6 +19,7 @@ package query
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"time"
@@ -228,13 +229,230 @@ func Execute(g *graph.Bipartite, sigma *bitvec.Vector, opts Options) Result {
 	return res
 }
 
+// batchKernel selects the inner loop of the one-pass batched execute.
+// Every kernel computes the same exact integer counts, so the choice is
+// purely a cost model — results are bit-identical by construction.
+type batchKernel int
+
+const (
+	// kernelScalar is the reference loop: per incidence, B per-signal
+	// membership tests. Lowest setup cost — selected for tiny batches.
+	kernelScalar batchKernel = iota
+	// kernelSliced walks each query's entry list once per 64-signal lane
+	// of the transposed bit-slab, loading one word per incidence and
+	// iterating only its set bits — output-sensitive, so sparse signals
+	// cost O(incidences + members) instead of O(incidences·B).
+	kernelSliced
+	// kernelPlanes decomposes each query's multiplicities into bit-plane
+	// masks over the entry range and scores each signal with
+	// AND+popcount, 64 entries per bits.OnesCount64 — the win once
+	// signals are dense enough that set-bit iteration degenerates.
+	kernelPlanes
+)
+
+// slicedMinBatch is the batch size below which the word-parallel kernels
+// cannot recoup their transpose/plane setup; smaller batches take the
+// scalar reference path.
+const slicedMinBatch = 4
+
+// pickKernel chooses the cheapest kernel from the instance shape: batch
+// size, total signal weight, and the design's incidence count.
+func pickKernel(g *graph.Bipartite, sigmas []*bitvec.Vector) batchKernel {
+	nb := len(sigmas)
+	n := g.N()
+	if nb < slicedMinBatch || n == 0 {
+		return kernelScalar
+	}
+	totalW := 0
+	for _, s := range sigmas {
+		totalW += s.Weight()
+	}
+	lanes := int64((nb + 63) / 64)
+	pairs := g.DistinctPairs()
+	wpn := int64((n + 63) / 64)
+	// Word-ops per full pass: the sliced kernel loads one slab word per
+	// (incidence, lane) plus one set-bit step per (incidence, member
+	// signal); the plane kernel pays one build pass over the incidences
+	// plus planes·wpn popcount words per (query, signal). Multiplicities
+	// come from Poisson thinning and stay small, so two planes is the
+	// right planning estimate.
+	slicedCost := pairs*lanes + pairs*int64(totalW)/int64(n)
+	planeCost := pairs + int64(g.M())*int64(nb)*2*wpn
+	if planeCost < slicedCost {
+		return kernelPlanes
+	}
+	return kernelSliced
+}
+
+// queryPlanes is the pooling matrix re-packed for AND+popcount scoring:
+// plane t, row j is an n-bit mask whose entry-e bit is set iff bit t of
+// the multiplicity A_je is set. The exact count of signal σ in query j is
+// then Σ_t 2^t · popcount(plane_t[j] AND σ).
+type queryPlanes struct {
+	wpn    int        // words per n-bit row
+	planes [][]uint64 // planes[t][j*wpn : (j+1)*wpn] is query j's mask
+}
+
+func buildQueryPlanes(g *graph.Bipartite) *queryPlanes {
+	n, m := g.N(), g.M()
+	qp := &queryPlanes{wpn: (n + 63) / 64}
+	for j := 0; j < m; j++ {
+		entries, mults := g.QueryEntries(j)
+		row := j * qp.wpn
+		for p, e := range entries {
+			mu := uint32(mults[p])
+			for t := 0; mu != 0; t++ {
+				if mu&1 != 0 {
+					for len(qp.planes) <= t {
+						qp.planes = append(qp.planes, make([]uint64, m*qp.wpn))
+					}
+					qp.planes[t][row+int(e)>>6] |= 1 << (uint(e) & 63)
+				}
+				mu >>= 1
+			}
+		}
+	}
+	return qp
+}
+
+// runBatch computes the exact additive count of every (signal, query)
+// cell in one pass over the pooling matrix and streams each query's row
+// to an emitter. Workers cover contiguous query ranges; newEmit runs
+// once per worker so emitters can hold private state (the noisy path's
+// reseedable rng stream). The acc slice passed to an emitter is reused
+// across queries and must not be retained.
+func runBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int, kern batchKernel, newEmit func() func(j int, acc []int64)) {
+	nb := len(sigmas)
+	m := g.M()
+	if nb == 0 || m == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+
+	// Shared read-only kernel state, built once before the fan-out.
+	var slab *bitvec.Slab
+	var planes *queryPlanes
+	switch kern {
+	case kernelSliced:
+		slab = bitvec.NewSlab(sigmas)
+	case kernelPlanes:
+		planes = buildQueryPlanes(g)
+	}
+
+	scan := func(lo, hi int) {
+		emit := newEmit()
+		acc := make([]int64, nb)
+		switch kern {
+		case kernelSliced:
+			scanSliced(g, slab, lo, hi, acc, emit)
+		case kernelPlanes:
+			scanPlanes(g, planes, sigmas, lo, hi, acc, emit)
+		default:
+			scanScalar(g, sigmas, lo, hi, acc, emit)
+		}
+	}
+	if workers <= 1 {
+		scan(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// scanScalar is the reference kernel: B membership tests per incidence.
+func scanScalar(g *graph.Bipartite, sigmas []*bitvec.Vector, lo, hi int, acc []int64, emit func(int, []int64)) {
+	for j := lo; j < hi; j++ {
+		entries, mults := g.QueryEntries(j)
+		for b := range acc {
+			acc[b] = 0
+		}
+		for p, e := range entries {
+			mu := int64(mults[p])
+			for b, s := range sigmas {
+				if s.Get(int(e)) {
+					acc[b] += mu
+				}
+			}
+		}
+		emit(j, acc)
+	}
+}
+
+// scanSliced scores 64 signals per loaded slab word: entries absent from
+// every signal of a lane cost one load+test, and set bits are iterated
+// directly via TrailingZeros64 — no per-signal Get calls.
+func scanSliced(g *graph.Bipartite, slab *bitvec.Slab, lo, hi int, acc []int64, emit func(int, []int64)) {
+	lanes := slab.Lanes()
+	for j := lo; j < hi; j++ {
+		entries, mults := g.QueryEntries(j)
+		for b := range acc {
+			acc[b] = 0
+		}
+		for l := 0; l < lanes; l++ {
+			lane := slab.Lane(l)
+			// Slab bits beyond the batch size are zero, so the lane's
+			// sub-slice of acc is never indexed past nb.
+			accL := acc[l*64:]
+			for p, e := range entries {
+				w := lane[e]
+				if w == 0 {
+					continue
+				}
+				mu := int64(mults[p])
+				for w != 0 {
+					accL[bits.TrailingZeros64(w)] += mu
+					w &= w - 1
+				}
+			}
+		}
+		emit(j, acc)
+	}
+}
+
+// scanPlanes scores 64 entries per popcount against the precomputed
+// multiplicity bit-planes.
+func scanPlanes(g *graph.Bipartite, qp *queryPlanes, sigmas []*bitvec.Vector, lo, hi int, acc []int64, emit func(int, []int64)) {
+	for j := lo; j < hi; j++ {
+		row := j * qp.wpn
+		for b, s := range sigmas {
+			words := s.Words()
+			var v int64
+			for t, plane := range qp.planes {
+				if c := bitvec.AndPopcount(plane[row:row+qp.wpn], words); c != 0 {
+					v += int64(c) << uint(t)
+				}
+			}
+			acc[b] = v
+		}
+		emit(j, acc)
+	}
+}
+
 // ExecuteBatch evaluates every query of g against B signals in a single
 // pass over the pooling matrix: each query's edge list is traversed once
 // and scored against all signals, amortizing the Γm edge traversal across
-// the batch (B separate Execute calls traverse it B times). Only the
-// exact additive oracle is supported here — imperfect oracles go through
-// ExecuteBatchNoisy, which shares the pass and perturbs per-signal.
-// Row b of the result is the count vector of sigmas[b]; it is
+// the batch (B separate Execute calls traverse it B times). Large batches
+// run word-parallel — 64 signals per machine word through a transposed
+// bit-slab, or 64 entries per popcount through multiplicity bit-planes
+// when the signals are dense — with the scalar loop kept as the reference
+// path for tiny batches; all kernels produce identical exact counts.
+// Only the exact additive oracle is supported here — imperfect oracles go
+// through ExecuteBatchNoisy, which shares the pass and perturbs
+// per-signal. Row b of the result is the count vector of sigmas[b]; it is
 // bit-identical to Execute(g, sigmas[b], ...).Y.
 func ExecuteBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int) [][]int64 {
 	nb := len(sigmas)
@@ -251,48 +469,13 @@ func ExecuteBatch(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int) [][]
 	if nb == 0 || m == 0 {
 		return out
 	}
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m {
-		workers = m
-	}
-	scan := func(lo, hi int) {
-		acc := make([]int64, nb)
-		for j := lo; j < hi; j++ {
-			entries, mults := g.QueryEntries(j)
-			for b := range acc {
-				acc[b] = 0
-			}
-			for p, e := range entries {
-				mu := int64(mults[p])
-				for b, s := range sigmas {
-					if s.Get(int(e)) {
-						acc[b] += mu
-					}
-				}
-			}
-			for b := range acc {
-				out[b][j] = acc[b]
+	runBatch(g, sigmas, workers, pickKernel(g, sigmas), func() func(int, []int64) {
+		return func(j int, acc []int64) {
+			for b, v := range acc {
+				out[b][j] = v
 			}
 		}
-	}
-	if workers <= 1 {
-		scan(0, m)
-		return out
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * m / workers
-		hi := (w + 1) * m / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			scan(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 
@@ -337,33 +520,13 @@ func ExecuteBatchNoisy(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int,
 		return out
 	}
 
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m {
-		workers = m
-	}
-	scan := func(lo, hi int) {
-		acc := make([]int64, nb)
+	runBatch(g, sigmas, workers, pickKernel(g, sigmas), func() func(int, []int64) {
 		var r *rng.Rand
 		if needStreams {
 			r = rng.NewRand(rng.NewXoshiro(0))
 		}
-		for j := lo; j < hi; j++ {
-			entries, mults := g.QueryEntries(j)
-			for b := range acc {
-				acc[b] = 0
-			}
-			for pos, e := range entries {
-				mu := int64(mults[pos])
-				for b, s := range sigmas {
-					if s.Get(int(e)) {
-						acc[b] += mu
-					}
-				}
-			}
-			for b := range acc {
-				v := acc[b]
+		return func(j int, acc []int64) {
+			for b, v := range acc {
 				if p != nil {
 					if needStreams {
 						// Reset the worker's stream to the cell's seed:
@@ -375,22 +538,7 @@ func ExecuteBatchNoisy(g *graph.Bipartite, sigmas []*bitvec.Vector, workers int,
 				out[b][j] = v
 			}
 		}
-	}
-	if workers <= 1 {
-		scan(0, m)
-		return out
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * m / workers
-		hi := (w + 1) * m / workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			scan(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 

@@ -2,6 +2,9 @@ package remote
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"log/slog"
 	"testing"
 
 	"pooleddata/internal/bitvec"
@@ -12,23 +15,62 @@ import (
 
 // BenchmarkRemoteShardDecode prices the federation hop: one decode
 // through a worker over httptest loopback (JSON + HTTP + the client
-// queue) against the same decode on a local shard. The delta is the
-// per-job wire overhead a deployment amortizes by batching campaigns.
+// queue) against the same decode on a local shard, plus the coalesced
+// variant — a burst of 32 jobs shipped as binary batch frames — whose
+// per-job cost is the wire overhead after amortization. Allocations are
+// reported so the pooled serialize buffers stay visible in allocs/op.
 func BenchmarkRemoteShardDecode(b *testing.B) {
 	const n, m, k = 2000, 800, 10
 	sigma := bitvec.Random(n, k, rng.NewRandSeeded(5))
 
 	run := func(b *testing.B, cluster *engine.Cluster) {
 		b.Helper()
+		b.ReportAllocs()
 		s, err := cluster.Scheme(nil, n, m, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
 		y := cluster.MeasureBatch(s, []*bitvec.Vector{sigma}, noise.Model{})[0]
+		// Warm up once so the one-time scheme install (design CSV write +
+		// parse) stays out of the steady-state measurement.
+		if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k}); err != nil {
+			b.Fatal(err)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+
+	// One iteration = one burst of concurrent submits settled; compare
+	// local-batchN with remote-batchN for the coalesced-parity number.
+	runBurst := func(b *testing.B, cluster *engine.Cluster, burst int) {
+		b.Helper()
+		b.ReportAllocs()
+		s, err := cluster.Scheme(nil, n, m, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		y := cluster.MeasureBatch(s, []*bitvec.Vector{sigma}, noise.Model{})[0]
+		if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s, Y: y, K: k}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			futs := make([]*engine.Future, burst)
+			for j := range futs {
+				fut, err := cluster.Submit(context.Background(), engine.Job{Scheme: s, Y: y, K: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				futs[j] = fut
+			}
+			for _, fut := range futs {
+				if _, err := fut.Wait(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	}
@@ -38,10 +80,35 @@ func BenchmarkRemoteShardDecode(b *testing.B) {
 		defer cluster.Close()
 		run(b, cluster)
 	})
+	// The worker's per-decode log line writes to the terminal; the local
+	// cluster logs nothing, so silence it to compare decode + wire alone.
+	quiet := ServerOptions{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+
 	b.Run("remote", func(b *testing.B) {
-		_, ts := newWorker(b, 1, 2, 0, ServerOptions{})
+		_, ts := newWorker(b, 1, 2, 0, quiet)
 		sh := New(fastOptions(ts.Listener.Addr().String()))
 		defer sh.Close()
 		run(b, engine.NewClusterOf(sh))
 	})
+	for _, burst := range []int{32, 64} {
+		burst := burst
+		b.Run(fmt.Sprintf("local-batch%d", burst), func(b *testing.B) {
+			cluster := engine.NewCluster(engine.ClusterConfig{
+				Shards: 1, Shard: engine.Config{Workers: 2, QueueDepth: burst * 2},
+			})
+			defer cluster.Close()
+			runBurst(b, cluster, burst)
+		})
+		b.Run(fmt.Sprintf("remote-batch%d", burst), func(b *testing.B) {
+			_, ts := newWorker(b, 1, 2, burst*2, quiet)
+			o := fastOptions(ts.Listener.Addr().String())
+			o.QueueDepth = burst * 2
+			o.MaxBatch = burst
+			// One sender, so the whole burst coalesces into one frame.
+			o.Senders = 1
+			sh := New(o)
+			defer sh.Close()
+			runBurst(b, engine.NewClusterOf(sh), burst)
+		})
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -60,6 +61,15 @@ type Options struct {
 	// Retries is how many times a failed request is retried before the
 	// job settles with an error. 0 means 2; negative means none.
 	Retries int
+	// CoalesceWindow is how long a sender waits after picking up a job
+	// to gather queue-mates into one binary batched request — the window
+	// that turns a campaign's fan-out into a handful of frames instead
+	// of hundreds of per-job round trips. 0 means 1ms; negative disables
+	// coalescing (every job rides its own JSON request).
+	CoalesceWindow time.Duration
+	// MaxBatch bounds the jobs coalesced into one batched request.
+	// 0 means 64; the frame format itself caps batches at 1024.
+	MaxBatch int
 	// RetryBackoff is the base delay between retries (grows linearly
 	// with the attempt). 0 means 50ms.
 	RetryBackoff time.Duration
@@ -114,6 +124,26 @@ func (o Options) retries() int {
 		return 0
 	}
 	return o.Retries
+}
+
+func (o Options) coalesceWindow() time.Duration {
+	if o.CoalesceWindow == 0 {
+		return time.Millisecond
+	}
+	if o.CoalesceWindow < 0 {
+		return 0
+	}
+	return o.CoalesceWindow
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch <= 0 {
+		return 64
+	}
+	if o.MaxBatch > maxBatchJobs {
+		return maxBatchJobs
+	}
+	return o.MaxBatch
 }
 
 func (o Options) retryBackoff() time.Duration {
@@ -208,6 +238,16 @@ type Shard struct {
 	stop      chan struct{}
 	probeDone chan struct{}
 
+	// batchUnsupported latches true the first time the worker proves it
+	// does not speak the binary batch protocol (404/415 from the batch
+	// route, or a 200 whose body is not a batch frame); all later jobs
+	// skip straight to the per-job JSON path.
+	batchUnsupported atomic.Bool
+
+	// bufPool recycles request-body buffers — JSON bodies and binary
+	// frames alike — so steady-state decodes stop allocating per job.
+	bufPool sync.Pool
+
 	// Transport observability: per-stage request timers and transport
 	// counters, no-ops when Options.Metrics is nil.
 	log          *slog.Logger
@@ -216,6 +256,7 @@ type Shard struct {
 	mSaturated   *metrics.Counter
 	mTransitions *metrics.CounterVec
 	mHealthy     *metrics.Gauge
+	mBatchJobs   *metrics.Histogram
 }
 
 var _ engine.Shard = (*Shard)(nil)
@@ -237,6 +278,7 @@ func New(opts Options) *Shard {
 			IdleConnTimeout:     90 * time.Second,
 		}},
 		jobs:      make(chan *task, opts.queueDepth()),
+		bufPool:   sync.Pool{New: func() any { return new(bytes.Buffer) }},
 		bySpec:    make(map[engine.Spec]*schemeState),
 		byScheme:  make(map[*engine.Scheme]*schemeState),
 		instance:  time.Now().UnixNano(),
@@ -256,6 +298,9 @@ func New(opts Options) *Shard {
 		"Probe-state flips, labeled by the state transitioned to.", "addr", "to")
 	s.mHealthy = reg.Gauge("pooled_remote_worker_healthy",
 		"1 while the worker's probe state is healthy.", "addr").With(opts.Addr)
+	s.mBatchJobs = reg.Histogram("pooled_remote_batch_jobs",
+		"Jobs coalesced into each binary batched decode request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}, "addr").With(opts.Addr)
 	s.healthy.Store(true)
 	s.mHealthy.Set(1)
 	for i := 0; i < opts.senders(); i++ {
@@ -610,12 +655,306 @@ func (s *Shard) unavailableErr(cause error) error {
 	return fmt.Errorf("%w: %s", ErrWorkerUnavailable, s.opts.Addr)
 }
 
-// sender drains the client queue until Close.
+// sender drains the client queue until Close. With coalescing enabled,
+// a sender that picks up a job lingers briefly for queue-mates and
+// ships the group as one binary batched request; lone jobs keep riding
+// the per-job JSON path.
 func (s *Shard) sender() {
 	defer s.wg.Done()
 	for t := range s.jobs {
+		if s.opts.coalesceWindow() <= 0 || s.batchUnsupported.Load() {
+			s.process(t)
+			continue
+		}
+		batch := s.gather(t)
+		if len(batch) == 1 {
+			s.process(batch[0])
+			continue
+		}
+		s.processBatch(batch)
+	}
+}
+
+// gather collects queue-mates behind first for up to the coalescing
+// window (or until the batch bound) — the knob that turns a campaign's
+// burst of submits into a handful of frames. A multi-job batch ships
+// the moment the queue runs dry: the window only buys time for a mate
+// when the pickup was a singleton, so batch-heavy workloads never pay
+// the window as idle latency.
+func (s *Shard) gather(first *task) []*task {
+	batch := []*task{first}
+	limit := s.opts.maxBatch()
+	window := s.opts.coalesceWindow()
+	// Straggler grace: once the batch has mates, a dry queue only stays
+	// open this long per arrival — enough to bridge a dispatcher's
+	// back-to-back submits, short enough that a formed batch never
+	// idles a full window.
+	grace := window / 8
+	if grace < 50*time.Microsecond {
+		grace = 50 * time.Microsecond
+	}
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+	for len(batch) < limit {
+		select {
+		case t, ok := <-s.jobs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, t)
+			continue
+		default:
+		}
+		wait := deadline.C
+		var straggler *time.Timer
+		if len(batch) > 1 {
+			straggler = time.NewTimer(grace)
+			wait = straggler.C
+		}
+		select {
+		case t, ok := <-s.jobs:
+			if straggler != nil {
+				straggler.Stop()
+			}
+			if !ok {
+				return batch
+			}
+			batch = append(batch, t)
+		case <-wait:
+			if straggler != nil {
+				straggler.Stop()
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// getBuf leases a request-body buffer from the pool.
+func (s *Shard) getBuf() *bytes.Buffer {
+	b := s.bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func (s *Shard) putBuf(b *bytes.Buffer) { s.bufPool.Put(b) }
+
+// fallback reroutes batch members through the per-job JSON path, which
+// owns retry, health, and settlement semantics. Decodes are
+// deterministic and idempotent on the worker, so re-running a job whose
+// batched fate is unknown is safe.
+func (s *Shard) fallback(tasks []*task) {
+	for _, t := range tasks {
 		s.process(t)
 	}
+}
+
+// noteBatchUnsupported latches the per-job path for this client's
+// lifetime and logs the downgrade once.
+func (s *Shard) noteBatchUnsupported(status int) {
+	if s.batchUnsupported.CompareAndSwap(false, true) {
+		s.log.Info("worker lacks the binary batch endpoint; using per-job requests", "status", status)
+	}
+}
+
+// processBatch ships a coalesced batch over the binary protocol. Any
+// batch-level abnormality — a worker without the endpoint, a transport
+// failure, an unparseable reply — falls back to the per-job JSON path,
+// and per-job non-OK statuses degrade the same way; only statuses the
+// JSON path treats as terminal settle here.
+func (s *Shard) processBatch(batch []*task) {
+	live := batch[:0]
+	for _, t := range batch {
+		if err := t.ctx.Err(); err != nil {
+			s.jobsCanceled.Add(1)
+			t.settle(engine.Result{Stats: engine.JobStats{QueueWait: time.Since(t.enqueued)}}, err)
+			continue
+		}
+		live = append(live, t)
+	}
+	switch len(live) {
+	case 0:
+		return
+	case 1:
+		s.process(live[0])
+		return
+	}
+
+	// Install every distinct scheme once; a failure routes the whole
+	// batch to the per-job path, which owns install retries. Batch-mates
+	// with live contexts still want the result, so the install (like the
+	// batched request below) is not tied to any one job's context.
+	states := make([]*schemeState, len(live))
+	ensured := make(map[*schemeState]bool, 1)
+	for i, t := range live {
+		st := s.stateFor(t.job.Scheme)
+		states[i] = st
+		if ensured[st] {
+			continue
+		}
+		if err := s.ensure(context.Background(), st); err != nil {
+			s.fallback(live)
+			return
+		}
+		ensured[st] = true
+	}
+
+	clientWait := make([]time.Duration, len(live))
+	for i, t := range live {
+		clientWait[i] = time.Since(t.enqueued)
+	}
+
+	buf := s.getBuf()
+	defer s.putBuf(buf)
+	serializeStart := time.Now()
+	jobs := make([]batchJob, len(live))
+	for i, t := range live {
+		jobs[i] = batchJob{
+			Scheme: states[i].id,
+			Noise:  t.job.Noise.Canon().String(),
+			Trace:  t.job.TraceID,
+			K:      t.job.K,
+			Y:      t.job.Y,
+		}
+		if t.job.Dec != nil {
+			jobs[i].Decoder = t.job.Dec.Name()
+		}
+	}
+	buf.Write(appendBatchRequest(buf.AvailableBuffer(), jobs))
+	serialize := time.Since(serializeStart)
+	s.mStage.With(s.opts.Addr, "serialize").ObserveDuration(serialize)
+	s.mBatchJobs.Observe(float64(len(live)))
+
+	rep, err := s.postBatch(buf.Bytes())
+	if err != nil {
+		s.fallback(live)
+		return
+	}
+	switch rep.status {
+	case http.StatusOK:
+		// Handled below.
+	case http.StatusNotFound, http.StatusMethodNotAllowed,
+		http.StatusUnsupportedMediaType, http.StatusNotAcceptable:
+		s.noteBatchUnsupported(rep.status)
+		s.fallback(live)
+		return
+	case http.StatusTooManyRequests:
+		s.markSaturated()
+		s.mSaturated.Inc()
+		s.fallback(live)
+		return
+	default:
+		s.fallback(live)
+		return
+	}
+	if !rep.isBatch {
+		// A 200 whose body is not a batch frame is a foreign endpoint
+		// answering generically — same as not having the endpoint.
+		s.noteBatchUnsupported(rep.status)
+		s.fallback(live)
+		return
+	}
+	if len(rep.results) != len(live) {
+		s.fallback(live)
+		return
+	}
+
+	s.setHealthy(true, "batched decode succeeded")
+	network := rep.roundTrip - time.Duration(rep.handleNS)
+	if rep.handleNS <= 0 || network < 0 {
+		network = rep.roundTrip
+	}
+	s.mStage.With(s.opts.Addr, "network").ObserveDuration(network)
+	s.mStage.With(s.opts.Addr, "total").ObserveDuration(serialize + rep.roundTrip)
+
+	for i := range rep.results {
+		r := &rep.results[i]
+		t := live[i]
+		switch r.Status {
+		case batchOK:
+			s.mStage.With(s.opts.Addr, "worker_queue").ObserveDuration(time.Duration(r.QueueNS))
+			s.mStage.With(s.opts.Addr, "worker_decode").ObserveDuration(time.Duration(r.DecodeNS))
+			t.settle(engine.Result{
+				Support: r.Support,
+				Decoder: r.Decoder,
+				Stats: engine.JobStats{
+					QueueWait:  clientWait[i] + time.Duration(r.QueueNS),
+					DecodeTime: time.Duration(r.DecodeNS),
+					Residual:   r.Residual,
+					Consistent: r.Consistent,
+				},
+			}, nil)
+		case batchNotFound:
+			// The worker lost the scheme between ensure and decode; the
+			// per-job path re-installs and retries.
+			states[i].unensure()
+			s.process(t)
+		case batchSaturated:
+			s.markSaturated()
+			s.mSaturated.Inc()
+			s.process(t)
+		case batchDecodeErr, batchBadRequest:
+			// Deterministic failures are terminal, matching the JSON
+			// path's 422/400 handling.
+			s.jobsFailed.Add(1)
+			t.settle(engine.Result{Stats: engine.JobStats{QueueWait: clientWait[i]}},
+				fmt.Errorf("remote: worker %s: %s", s.opts.Addr, r.Err))
+		default: // batchUnavailable: transient, retry per job
+			s.process(t)
+		}
+	}
+}
+
+// batchReply is one batched round trip's outcome.
+type batchReply struct {
+	status    int
+	isBatch   bool
+	results   []batchResult
+	roundTrip time.Duration
+	handleNS  int64
+}
+
+// postBatch runs one batched decode request. err is transport-level (or
+// an unparseable 200 batch body); HTTP-level failures come back in
+// status, and a 200 with a non-batch body comes back with isBatch
+// false.
+func (s *Shard) postBatch(payload []byte) (batchReply, error) {
+	// Batch-mates' contexts are independent; the request deadline alone
+	// bounds the round trip so one job's cancellation can't fail the
+	// rest.
+	rctx, cancel := context.WithTimeout(context.Background(), s.opts.requestTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, s.base+decodeBatchPath, bytes.NewReader(payload))
+	if err != nil {
+		return batchReply{}, err
+	}
+	req.Header.Set("Content-Type", batchMediaType)
+	req.Header.Set("Accept", batchMediaType)
+	start := time.Now()
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return batchReply{}, err
+	}
+	defer drainClose(resp.Body)
+	rep := batchReply{status: resp.StatusCode}
+	rep.handleNS, _ = strconv.ParseInt(resp.Header.Get(handleTimeHeader), 10, 64)
+	if resp.StatusCode != http.StatusOK {
+		return rep, nil
+	}
+	mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if mt != batchMediaType {
+		return rep, nil
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	rep.roundTrip = time.Since(start)
+	if rerr != nil {
+		return batchReply{}, rerr
+	}
+	if rep.results, err = parseBatchResponse(body); err != nil {
+		return batchReply{}, err
+	}
+	rep.isBatch = true
+	return rep, nil
 }
 
 // process ships one job to the worker with bounded
@@ -636,8 +975,11 @@ func (s *Shard) process(t *task) {
 	if t.job.Dec != nil {
 		req.Decoder = t.job.Dec.Name()
 	}
+	buf := s.getBuf()
+	defer s.putBuf(buf)
 	serializeStart := time.Now()
-	payload, err := json.Marshal(req)
+	err := json.NewEncoder(buf).Encode(req)
+	payload := buf.Bytes()
 	serialize := time.Since(serializeStart)
 	if err != nil {
 		s.jobsFailed.Add(1)

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -96,6 +99,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /shard/v1/schemes/{id}", s.handleInstall)
 	mux.HandleFunc("POST /shard/v1/decode", s.handleDecode)
+	mux.HandleFunc("POST /shard/v1/decode-batch", s.handleDecodeBatch)
 	mux.HandleFunc("GET /shard/v1/health", s.handleHealth)
 	mux.HandleFunc("GET /shard/v1/stats", s.handleStats)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +245,155 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		DecodeNS:   int64(res.Stats.DecodeTime),
 		Trace:      req.Trace,
 	})
+}
+
+// handleDecodeBatch runs a coalesced batch of jobs through the worker's
+// cluster in one request: all jobs are admitted up front (TrySubmit, so
+// the worker's local shards decode them concurrently), then awaited in
+// order. Outcomes are per-job — one job's unknown scheme or saturated
+// queue does not fail its batch-mates — with the same status semantics
+// as the JSON endpoint, carried as status bytes in the binary response
+// frame. Content-Type must name the batch framing (else 415, which
+// clients treat as "fall back to per-job JSON"), and the response is
+// binary unless the client's Accept excludes it.
+func (s *Server) handleDecodeBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err != nil || mt != batchMediaType {
+		writeError(w, http.StatusUnsupportedMediaType, "decode-batch wants Content-Type %s", batchMediaType)
+		return
+	}
+	if acc := r.Header.Get("Accept"); acc != "" && !strings.Contains(acc, batchMediaType) && !strings.Contains(acc, "*/*") {
+		writeError(w, http.StatusNotAcceptable, "decode-batch answers %s", batchMediaType)
+		return
+	}
+	// Read with the declared length preallocated (MaxBytesReader already
+	// bounds it), so a large coalesced frame doesn't pay ReadAll's
+	// doubling-growth copies.
+	var body []byte
+	if n := r.ContentLength; n >= 0 && n <= s.opts.maxBody() {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(r.Body, body); err != nil {
+			writeError(w, http.StatusBadRequest, "read request: %v", err)
+			return
+		}
+	} else {
+		var err error
+		if body, err = io.ReadAll(r.Body); err != nil {
+			writeError(w, http.StatusBadRequest, "read request: %v", err)
+			return
+		}
+	}
+	fr := &frameReader{data: body}
+	count, err := fr.header(batchRequestMagic)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse batch frame: %v", err)
+		return
+	}
+
+	// Parse and admit in one pass: job 1 is decoding while job N still
+	// parses. A malformed tail answers 400 for the whole frame; jobs
+	// already admitted decode into discarded futures, which is harmless —
+	// decodes are deterministic and the client re-runs per job.
+	jobs := make([]batchJob, count)
+	results := make([]batchResult, count)
+	futs := make([]*engine.Future, count)
+	saturated := false
+	for i := range jobs {
+		if jobs[i], err = fr.job(i); err != nil {
+			writeError(w, http.StatusBadRequest, "parse batch frame: %v", err)
+			return
+		}
+		bj := &jobs[i]
+		res := &results[i]
+		es, ok := s.lookup(bj.Scheme)
+		if !ok {
+			res.Status, res.Err = batchNotFound, fmt.Sprintf("unknown scheme %q", bj.Scheme)
+			continue
+		}
+		nm, err := noise.Parse(bj.Noise)
+		if err != nil {
+			res.Status, res.Err = batchBadRequest, fmt.Sprintf("bad noise: %v", err)
+			continue
+		}
+		job := engine.Job{Scheme: es, Y: bj.Y, K: bj.K, Noise: nm, TraceID: bj.Trace}
+		if bj.Decoder != "" {
+			dec, err := engine.DecoderByName(bj.Decoder)
+			if err != nil {
+				res.Status, res.Err = batchBadRequest, err.Error()
+				continue
+			}
+			job.Dec = dec
+		}
+		fut, err := s.cluster.TrySubmit(r.Context(), job)
+		switch {
+		case errors.Is(err, engine.ErrSaturated):
+			res.Status, res.Err = batchSaturated, "decode queue saturated"
+			if !saturated {
+				saturated = true
+				w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(es)))
+			}
+		case errors.Is(err, engine.ErrClosed):
+			res.Status, res.Err = batchUnavailable, "engine closed"
+		case err != nil:
+			res.Status, res.Err = batchBadRequest, err.Error()
+		default:
+			futs[i] = fut
+		}
+	}
+	if fr.remaining() != 0 {
+		writeError(w, http.StatusBadRequest, "parse batch frame: %d trailing bytes", fr.remaining())
+		return
+	}
+	for i, fut := range futs {
+		if fut == nil {
+			continue
+		}
+		bj, out := &jobs[i], &results[i]
+		res, err := fut.Wait(r.Context())
+		if err != nil {
+			s.log.Warn("decode failed", "trace_id", bj.Trace, "scheme", bj.Scheme, "err", err)
+			out.Status, out.Err = batchDecodeErr, fmt.Sprintf("decode: %v", err)
+			continue
+		}
+		out.Status = batchOK
+		out.Decoder = res.Decoder
+		out.Residual = res.Stats.Residual
+		out.Consistent = res.Stats.Consistent
+		out.QueueNS = int64(res.Stats.QueueWait)
+		out.DecodeNS = int64(res.Stats.DecodeTime)
+		out.Support = res.Support
+		s.log.Info("decode",
+			"trace_id", bj.Trace, "scheme", bj.Scheme, "decoder", res.Decoder,
+			"k", bj.K, "consistent", res.Stats.Consistent,
+			"queue_ns", int64(res.Stats.QueueWait), "decode_ns", int64(res.Stats.DecodeTime))
+	}
+	for i := range results {
+		s.mDecodes.With(batchStatusCode(results[i].Status)).Inc()
+	}
+	w.Header().Set("Content-Type", batchMediaType)
+	w.Header().Set(handleTimeHeader, strconv.FormatInt(int64(time.Since(start)), 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(appendBatchResponse(nil, results))
+}
+
+// batchStatusCode maps a per-job frame status to the HTTP status the
+// JSON endpoint would have answered, so the decode-request counter keeps
+// one label set across both protocols.
+func batchStatusCode(st byte) string {
+	switch st {
+	case batchOK:
+		return "200"
+	case batchNotFound:
+		return "404"
+	case batchSaturated:
+		return "429"
+	case batchDecodeErr:
+		return "422"
+	case batchBadRequest:
+		return "400"
+	default:
+		return "503"
+	}
 }
 
 // retryAfterSeconds estimates how long the scheme's owning shard needs
