@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote bench-kernels bench-smoke fuzz-seeds metrics-lint clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote bench-kernels bench-smoke fuzz-seeds metrics-lint crash-smoke clean
 
 all: build vet test
 
@@ -67,9 +67,10 @@ bench-smoke:
 	$(GO) test -short -race -run '^$$' -bench . -benchtime 1x ./...
 
 # Replay the checked-in fuzz corpus seeds (no open-ended fuzzing): the
-# frame parsers must handle every archived hostile input cleanly.
+# frame and WAL-record parsers must handle every archived hostile input
+# cleanly.
 fuzz-seeds:
-	$(GO) test -run 'Fuzz' ./internal/remote
+	$(GO) test -run 'Fuzz' ./internal/remote ./internal/wal
 
 # Scrape a live frontend + worker pair and run both expositions through
 # promcheck (the in-repo, dependency-free Prometheus text-format linter).
@@ -81,7 +82,7 @@ metrics-lint:
 	$(GO) build -o $$tmp/pooledd ./cmd/pooledd; \
 	$(GO) build -o $$tmp/promcheck ./cmd/promcheck; \
 	$$tmp/pooledd -worker -addr 127.0.0.1:19390 -shards 2 & wpid=$$!; \
-	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 & fpid=$$!; \
+	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 -wal-dir $$tmp/wal & fpid=$$!; \
 	trap 'kill $$wpid $$fpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	for i in $$(seq 1 50); do \
 	  curl -sf http://127.0.0.1:19390/metrics >/dev/null && \
@@ -94,7 +95,15 @@ metrics-lint:
 	  -d "{\"scheme\":\"s1\",\"k\":0,\"counts\":[$$(printf '0,%.0s' $$(seq 1 199))0]}" >/dev/null; \
 	curl -sf http://127.0.0.1:19390/metrics | $$tmp/promcheck; \
 	curl -sf http://127.0.0.1:19392/metrics | $$tmp/promcheck; \
+	curl -sf http://127.0.0.1:19392/metrics | grep -q '^pooled_wal_appends_total' || \
+	  { echo "metrics-lint: WAL series missing from frontend exposition" >&2; exit 1; }; \
 	echo "metrics-lint: worker and frontend expositions are clean"
+
+# Crash-recovery end to end against a real binary: SIGKILL pooledd mid-
+# campaign, restart it on the same -wal-dir, and assert the campaign
+# completes with a contiguous, exactly-once event stream.
+crash-smoke:
+	sh scripts/crash-smoke.sh
 
 clean:
 	$(GO) clean ./...

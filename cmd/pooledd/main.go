@@ -94,6 +94,7 @@ import (
 	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/remote"
+	"pooleddata/internal/wal"
 	"pooleddata/metrics"
 )
 
@@ -116,6 +117,8 @@ func main() {
 	tenantWeights := flag.String("tenant-weights", "", "weighted fair queuing, e.g. t1=3,t2=1 (unlisted tenants weigh 1)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	walDir := flag.String("wal-dir", "", "campaign write-ahead-log directory: campaigns journal here and replay after a crash or restart (empty: campaigns are memory-only; frontend mode only)")
+	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (per record), off, or a duration like 250ms (batched interval sync)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -167,10 +170,30 @@ func main() {
 	}
 	defer cluster.Close()
 
+	// The WAL opens before the campaign store exists so Create can
+	// journal from the first request; recovery replays later in boot,
+	// once -designs/-snapshot have rebuilt the scheme registry the
+	// journaled scheme refs resolve against.
+	var journal *wal.WAL
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+		journal, err = wal.Open(*walDir, wal.Options{Sync: policy, Metrics: reg, Logger: logger})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("campaign wal enabled", "dir", *walDir, "fsync", policy.String())
+	}
+
 	srv := newServer(cluster, campaign.Config{
 		TenantMaxActive: *tenantMaxActive,
 		TenantMaxQueued: *tenantMaxQueued,
 		TenantWeights:   weights,
+		WAL:             journal,
 	})
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
@@ -183,6 +206,15 @@ func main() {
 	}
 	if *snapshot != "" {
 		if err := loadSnapshot(cluster, srv, *snapshot, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if journal != nil {
+		// Replay the journal: finished campaigns come back read-only,
+		// unfinished ones re-dispatch their unsettled jobs. An interior-
+		// corrupt log refuses boot — a torn tail record does not.
+		if err := restoreCampaigns(srv, journal, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)
 			os.Exit(1)
 		}
@@ -215,8 +247,13 @@ func main() {
 	}
 	<-done
 	// Stop the campaign dispatcher: jobs still awaiting dispatch settle
-	// with a store-closed error instead of dangling.
+	// with a store-closed error instead of dangling. The store detaches
+	// journals first, so those shutdown settles never reach the WAL and
+	// unfinished campaigns resume on the next boot.
 	srv.campaigns.Close()
+	if err := journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "pooledd: wal close: %v\n", err)
+	}
 	if *snapshot != "" {
 		if err := writeSnapshot(srv, *snapshot); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)

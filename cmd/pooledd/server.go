@@ -506,6 +506,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	cp, err := s.campaigns.Create(campaign.Request{
 		Scheme: ent.scheme, Batch: req.Batch, K: req.K,
 		Tenant: req.Tenant, Noise: nm, Dec: dec, TraceID: trace,
+		SchemeRef: s.schemeRefFor(ent),
 	})
 	switch {
 	case errors.Is(err, engine.ErrSaturated):

@@ -20,6 +20,11 @@ import (
 // client (it reconnects with Last-Event-ID and replays what it
 // missed). Heartbeat comments keep idle connections verified and
 // intermediaries from timing the stream out.
+//
+// Resume survives a server restart when -wal-dir is set: recovery
+// rebuilds the campaign's event log from the journal with the same
+// sequence numbers, so a Last-Event-ID cursor taken before the crash
+// lands on exactly the next unseen event afterwards.
 
 // parseCursor resolves the client's resume cursor: the standard SSE
 // Last-Event-ID header (set automatically by EventSource on reconnect)

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 	"pooleddata/internal/decoder"
 	"pooleddata/internal/engine"
 	"pooleddata/internal/noise"
+	"pooleddata/internal/wal"
 )
 
 // DefaultTenant is the tenant campaigns without an explicit tenant are
@@ -64,6 +66,11 @@ type Config struct {
 	// starving anyone. Tenants absent from the map (and weights < 1)
 	// default to 1, which keeps dispatch the equal-turn round robin.
 	TenantWeights map[string]int
+	// WAL, when non-nil, journals every campaign to a per-campaign
+	// write-ahead log: the spec on Create, one record per settled job,
+	// and a terminal seal — what Restore replays after a crash. Nil
+	// keeps campaigns memory-only.
+	WAL *wal.WAL
 }
 
 func (c Config) maxActive() int {
@@ -170,7 +177,12 @@ type Campaign struct {
 	onSettled func(decodeNS int64, completed bool)
 	onCancel  func()
 
-	mu            sync.Mutex
+	mu sync.Mutex
+	// jnl journals settlements to the store's WAL. Guarded by mu so the
+	// journaled record order matches the event-log order, and detached
+	// (set nil) on graceful shutdown: store-closed settles must not
+	// reach the log, or an unfinished campaign could never resume.
+	jnl           *wal.WAL
 	canceledFlag  bool
 	expiredFlag   bool
 	quotaReleased bool // expiry already returned the unsettled jobs' quota
@@ -256,6 +268,14 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 		jr.Error = err.Error()
 	}
 
+	status := wal.StatusCompleted
+	switch {
+	case canceled:
+		status = wal.StatusCanceled
+	case err != nil:
+		status = wal.StatusFailed
+	}
+
 	cp.mu.Lock()
 	switch {
 	case err == nil:
@@ -266,7 +286,11 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 		cp.failed++
 	}
 	cp.results = append(cp.results, jr)
+	before := len(cp.events)
 	cp.appendEventLocked(Event{Type: EventResult, Job: &jr})
+	if len(cp.events) > before {
+		cp.journalEventLocked(int64(len(cp.events)), status, &jr)
+	}
 	if cp.settledLocked() == cp.total {
 		cp.finished = time.Now()
 		cp.appendDoneLocked()
@@ -282,6 +306,36 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	}
 }
 
+// journalEventLocked appends one settled job to the WAL, mirroring the
+// event just appended to the in-memory log (same sequence number, so
+// SSE Last-Event-ID cursors survive a restart). Append failures are
+// logged, not propagated: mid-flight durability errors must not take
+// down a live decode — the job simply re-dispatches on the next boot.
+func (cp *Campaign) journalEventLocked(seq int64, status wal.Status, jr *JobResult) {
+	if cp.jnl == nil {
+		return
+	}
+	err := cp.jnl.Append(cp.id, wal.EventRecord{
+		Seq: seq, Index: jr.Index, Status: status,
+		Decoder: jr.Decoder, Error: jr.Error,
+		Residual: jr.Residual, Consistent: jr.Consistent,
+		DecodeNS: jr.DecodeNS, Support: jr.Support,
+	})
+	if err != nil {
+		slog.Warn("campaign: wal append failed", "campaign", cp.id, "err", err)
+	}
+}
+
+// detachJournal disconnects the campaign from the WAL. Graceful
+// shutdown detaches every campaign before settling pending jobs as
+// store-closed: those settles are shutdown artifacts, not outcomes, and
+// journaling them would make the campaign unresumable.
+func (cp *Campaign) detachJournal() {
+	cp.mu.Lock()
+	cp.jnl = nil
+	cp.mu.Unlock()
+}
+
 // Cancel stops the campaign: jobs not yet dispatched (or still queued
 // on the shard) settle as canceled; jobs already inside a decoder run
 // to completion and still count. Canceling a campaign whose jobs have
@@ -295,6 +349,14 @@ func (cp *Campaign) Cancel() {
 	if !cp.canceledFlag && cp.settledLocked() < cp.total {
 		cp.canceledFlag = true
 		cp.canceledAt = time.Now()
+		if cp.jnl != nil {
+			// Journaled before the context dies for the same reason as the
+			// flag: a crash right after the cancel must not replay the
+			// campaign back to running.
+			if err := cp.jnl.CancelMark(cp.id); err != nil {
+				slog.Warn("campaign: wal cancel mark failed", "campaign", cp.id, "err", err)
+			}
+		}
 		cp.notifyLocked()
 	}
 	cp.mu.Unlock()
@@ -414,6 +476,11 @@ type Request struct {
 	// the campaign; it is carried on every job of the batch (and over the
 	// remote shard wire) and echoed in every JobResult.
 	TraceID string
+	// SchemeRef is an opaque description of Scheme that the caller can
+	// resolve back to a live *engine.Scheme at recovery time (pooledd
+	// uses a JSON form of its registry entry). Only journaled; ignored
+	// when the store has no WAL.
+	SchemeRef string
 }
 
 func (r Request) tenant() string {
@@ -491,11 +558,24 @@ func newStore(cluster *engine.Cluster, cfg Config) *Store {
 // Close stops the dispatcher; jobs still pending dispatch settle as
 // failed with a store-closed error so their campaigns terminate.
 // Campaigns already on shard queues drain through the engine as usual.
+// Journaled campaigns are detached from the WAL first: the shutdown
+// settles are not outcomes, and keeping them out of the log is what
+// lets an unfinished campaign resume on the next boot.
 func (st *Store) Close() {
 	st.stopOnce.Do(func() {
 		st.mu.Lock()
 		st.closed = true
+		var cps []*Campaign
+		if st.cfg.WAL != nil {
+			cps = make([]*Campaign, 0, len(st.byID))
+			for _, cp := range st.byID {
+				cps = append(cps, cp)
+			}
+		}
 		st.mu.Unlock()
+		for _, cp := range cps {
+			cp.detachJournal()
+		}
 		close(st.stop)
 	})
 	<-st.done
@@ -574,6 +654,28 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 	}
 	cp.onSettled = func(decodeNS int64, completed bool) { st.jobSettled(tenant, decodeNS, completed) }
 	cp.onCancel = func() { st.purgeCanceled(cp) }
+	// Journal the spec before the campaign becomes visible: once Create
+	// returns an id, a crash must not forget the campaign. A journal
+	// that cannot accept the spec fails the whole admission (the id is
+	// returned to the sequence — nothing observed it).
+	if st.cfg.WAL != nil {
+		dn := ""
+		if req.Dec != nil {
+			dn = req.Dec.Name()
+		}
+		err := st.cfg.WAL.Begin(wal.CampaignSpec{
+			ID: cp.id, Tenant: tenant, TraceID: req.TraceID,
+			SchemeRef: req.SchemeRef, Noise: cp.noise.String(), Decoder: dn,
+			K: req.K, Batch: req.Batch,
+		})
+		if err != nil {
+			st.nextID--
+			st.mu.Unlock()
+			cancel()
+			return nil, fmt.Errorf("campaign: journal: %w", err)
+		}
+		cp.jnl = st.cfg.WAL
+	}
 	st.byID[cp.id] = cp
 
 	// Queue the jobs for the dispatcher. One OnDone callback is shared by
@@ -704,6 +806,9 @@ func (st *Store) gcLocked(now time.Time) int {
 			}
 		}
 		delete(st.byID, id)
+		// Retention applies to the journal too: a reaped campaign's WAL
+		// file would otherwise replay (and re-run) on the next boot.
+		st.cfg.WAL.Remove(id)
 		st.gcCollected.Add(1)
 		collected++
 	}

@@ -1,5 +1,11 @@
 package campaign
 
+import (
+	"log/slog"
+
+	"pooleddata/internal/wal"
+)
+
 // The campaign event log: every job settlement appends one monotone,
 // gapless-sequence event, and the campaign's terminal transition (all
 // jobs settled, or expiry by GC) appends exactly one closing event that
@@ -53,7 +59,10 @@ func (cp *Campaign) appendEventLocked(ev Event) {
 	cp.events = append(cp.events, ev)
 }
 
-// appendDoneLocked seals the log with the terminal event.
+// appendDoneLocked seals the log with the terminal event and, for
+// journaled campaigns, writes the WAL's terminal seal record — after
+// this the on-disk log is complete and recovery restores the campaign
+// read-only instead of re-dispatching anything.
 func (cp *Campaign) appendDoneLocked() {
 	if cp.sealed {
 		return
@@ -63,6 +72,15 @@ func (cp *Campaign) appendDoneLocked() {
 		Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
 	})
 	cp.sealed = true
+	if cp.jnl != nil {
+		err := cp.jnl.Seal(cp.id, wal.Seal{
+			State:     string(cp.stateLocked()),
+			Completed: cp.completed, Failed: cp.failed, Canceled: cp.canceledJobs,
+		})
+		if err != nil {
+			slog.Warn("campaign: wal seal failed", "campaign", cp.id, "err", err)
+		}
+	}
 }
 
 // EventsSince returns the events with sequence numbers greater than seq

@@ -1,0 +1,381 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"pooleddata/internal/bitvec"
+	"pooleddata/internal/engine"
+	"pooleddata/internal/wal"
+)
+
+func testWAL(t testing.TB, dir string) *wal.WAL {
+	t.Helper()
+	w, err := wal.Open(dir, wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// waitDone polls until the campaign settles completely.
+func waitDone(t testing.TB, cp *Campaign) Progress {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		p := cp.Wait(context.Background(), 50*time.Millisecond)
+		if p.Terminal() && p.Settled() == p.Total {
+			return p
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign did not finish: %+v", p)
+		}
+	}
+}
+
+// TestJournalThenRestoreSealed runs a campaign to completion under a
+// WAL, then restores it in a fresh store: the replayed campaign must be
+// read-only done with bit-identical results and the exact same event
+// sequence numbers.
+func TestJournalThenRestoreSealed(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 2, 2, 0)
+	w := testWAL(t, dir)
+	st := NewStore(c, Config{WAL: w})
+	const n, k, m, batch = 300, 5, 240, 8
+	s, signals, ys := testBatch(t, c, n, k, m, batch, 3)
+
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, SchemeRef: "ref-1", TraceID: "tr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := waitDone(t, cp)
+	if p.State != Done || p.Completed != batch {
+		t.Fatalf("final progress: %+v", p)
+	}
+	wantEvents, _, sealed := cp.EventsSince(0)
+	if !sealed || len(wantEvents) != batch+1 {
+		t.Fatalf("source log: sealed=%v events=%d", sealed, len(wantEvents))
+	}
+	st.Close()
+	w.Close()
+
+	w2 := testWAL(t, dir)
+	logs, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || logs[0].Seal == nil || logs[0].Seal.State != string(Done) {
+		t.Fatalf("recovered logs: %+v", logs)
+	}
+	if logs[0].Spec.SchemeRef != "ref-1" || logs[0].Spec.K != k {
+		t.Fatalf("spec: %+v", logs[0].Spec)
+	}
+
+	st2 := NewStore(c, Config{WAL: w2})
+	defer st2.Close()
+	resolveCalled := false
+	restored := st2.Restore(logs, func(spec wal.CampaignSpec) (*engine.Scheme, error) {
+		resolveCalled = true
+		return s, nil
+	})
+	if resolveCalled {
+		t.Fatal("sealed campaign should restore without resolving its scheme")
+	}
+	if len(restored) != 1 || restored[0].State != string(Done) || restored[0].Redispatched != 0 {
+		t.Fatalf("restored: %+v", restored)
+	}
+	cp2, ok := st2.Get(cp.ID())
+	if !ok {
+		t.Fatal("restored campaign not in store")
+	}
+	p2 := cp2.Progress()
+	if p2.State != Done || p2.Completed != batch {
+		t.Fatalf("restored progress: %+v", p2)
+	}
+	for i, res := range p2.Results {
+		if res.TraceID != "tr" {
+			t.Fatalf("result %d lost its trace id: %+v", i, res)
+		}
+		if !bitvec.FromIndices(n, res.Support).Equal(signals[res.Index]) {
+			t.Fatalf("restored result %d does not match its signal", i)
+		}
+	}
+	gotEvents, _, sealed := cp2.EventsSince(0)
+	if !sealed || len(gotEvents) != len(wantEvents) {
+		t.Fatalf("restored log: sealed=%v events=%d want %d", sealed, len(gotEvents), len(wantEvents))
+	}
+	for i := range gotEvents {
+		if gotEvents[i].Seq != wantEvents[i].Seq || gotEvents[i].Type != wantEvents[i].Type {
+			t.Fatalf("event %d: got %+v want %+v", i, gotEvents[i], wantEvents[i])
+		}
+	}
+
+	// New campaigns continue the id sequence above the recovered id.
+	cp3, err := st2.Create(Request{Scheme: s, Batch: ys[:1], K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaignSeq(cp3.ID()) <= campaignSeq(cp.ID()) {
+		t.Fatalf("id sequence regressed: %s after %s", cp3.ID(), cp.ID())
+	}
+}
+
+// TestRestoreRedispatchesUnsettled interrupts a journaled campaign
+// mid-flight (by detaching on graceful close), then restores: the
+// unsettled jobs must re-dispatch and settle bit-identically to a
+// direct decode, and the resumed log must seal.
+func TestRestoreRedispatchesUnsettled(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 2, 2, 0)
+	w := testWAL(t, dir)
+	st := NewStore(c, Config{WAL: w})
+	const n, k, m, batch = 300, 5, 240, 8
+	s, signals, ys := testBatch(t, c, n, k, m, batch, 11)
+
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, SchemeRef: "ref-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cp)
+	st.Close()
+	w.Close()
+
+	// Rewrite the log as if the crash hit after two settled events: keep
+	// the spec and the first two event records, drop the rest.
+	w2 := testWAL(t, dir)
+	logs, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := logs[0]
+	path := filepath.Join(dir, cp.ID()+".wal")
+	os.Remove(path)
+	if err := w2.Begin(full.Spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range full.Events[:2] {
+		if err := w2.Append(full.Spec.ID, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2.Close()
+
+	w3 := testWAL(t, dir)
+	logs, err = w3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || logs[0].Seal != nil || len(logs[0].Events) != 2 {
+		t.Fatalf("truncated log: %+v", logs)
+	}
+	st3 := NewStore(c, Config{WAL: w3})
+	restored := st3.Restore(logs, func(spec wal.CampaignSpec) (*engine.Scheme, error) {
+		if spec.SchemeRef != "ref-2" {
+			t.Errorf("resolver got ref %q", spec.SchemeRef)
+		}
+		return s, nil
+	})
+	if len(restored) != 1 || restored[0].State != string(Running) || restored[0].Redispatched != batch-2 {
+		t.Fatalf("restored: %+v", restored)
+	}
+	p := waitDone(t, restored[0].Campaign)
+	if p.State != Done || p.Completed != batch {
+		t.Fatalf("replayed progress: %+v", p)
+	}
+	for _, res := range p.Results {
+		if !bitvec.FromIndices(n, res.Support).Equal(signals[res.Index]) {
+			t.Fatalf("replayed result %d does not match its signal", res.Index)
+		}
+	}
+	st3.Close()
+	w3.Close()
+
+	// The resumed log must have sealed: a fourth recovery sees it done.
+	w4 := testWAL(t, dir)
+	logs, err = w4.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || logs[0].Seal == nil || logs[0].Seal.State != string(Done) ||
+		logs[0].Seal.Completed != batch {
+		t.Fatalf("resumed log did not seal: %+v", logs)
+	}
+	if len(logs[0].Events) != batch {
+		t.Fatalf("resumed log has %d events, want %d", len(logs[0].Events), batch)
+	}
+}
+
+// TestGracefulCloseDoesNotJournalShutdownSettles: Close detaches the
+// journal before pending jobs settle as store-closed, so an unfinished
+// campaign's log stays open (resumable) with only the real settlements.
+func TestGracefulCloseDoesNotJournalShutdownSettles(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 1, 1, 2)
+	w := testWAL(t, dir)
+	st := NewStore(c, Config{WAL: w})
+	const n, k, m, batch = 80, 2, 60, 6
+	s, _, ys := testBatch(t, c, n, k, m, batch, 13)
+
+	release := make(chan struct{})
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k, Dec: stallDecoder{release}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the single worker, then shut down with most jobs pending.
+	deadline := time.Now().Add(time.Second)
+	for c.Shard(0).Stats().JobsSubmitted == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st.Close()
+	close(release)
+	waitDone(t, cp) // shutdown settles drain through the detached campaign
+	w.Close()
+
+	w2 := testWAL(t, dir)
+	logs, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("logs: %+v", logs)
+	}
+	if logs[0].Seal != nil {
+		t.Fatalf("shutdown settles sealed the log: %+v", logs[0].Seal)
+	}
+	// Only decodes that genuinely finished before Close may appear; the
+	// store-closed failures must not.
+	for _, ev := range logs[0].Events {
+		if ev.Status == wal.StatusFailed {
+			t.Fatalf("shutdown settle was journaled: %+v", ev)
+		}
+	}
+	if len(logs[0].Events) >= batch {
+		t.Fatalf("all %d events journaled; shutdown settles leaked into the log", len(logs[0].Events))
+	}
+}
+
+// TestRestoreCanceledLog replays a log with a cancel mark and no seal:
+// the missing jobs settle as canceled and the campaign seals canceled.
+func TestRestoreCanceledLog(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 1, 1, 0)
+	w := testWAL(t, dir)
+	const batch = 4
+	spec := wal.CampaignSpec{
+		ID: "c7", Tenant: "acme", Noise: "exact", K: 2,
+		Batch: [][]int64{{0}, {0}, {0}, {0}},
+	}
+	if err := w.Begin(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("c7", wal.EventRecord{Seq: 1, Index: 0, Status: wal.StatusCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CancelMark("c7"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2 := testWAL(t, dir)
+	logs, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(c, Config{WAL: w2})
+	defer st.Close()
+	restored := st.Restore(logs, func(wal.CampaignSpec) (*engine.Scheme, error) {
+		t.Error("canceled campaign should not resolve its scheme")
+		return nil, errors.New("unused")
+	})
+	if len(restored) != 1 || restored[0].State != string(Canceled) {
+		t.Fatalf("restored: %+v", restored)
+	}
+	p := restored[0].Campaign.Progress()
+	if p.State != Canceled || p.Completed != 1 || p.Canceled != batch-1 {
+		t.Fatalf("progress: %+v", p)
+	}
+	evs, _, sealed := restored[0].Campaign.EventsSince(0)
+	if !sealed || len(evs) != batch+1 || !evs[len(evs)-1].Terminal() {
+		t.Fatalf("events: sealed=%v %+v", sealed, evs)
+	}
+}
+
+// TestRestoreUnresolvableScheme fails the remaining jobs (keeping the
+// settled prefix) when the resolver cannot bring the scheme back.
+func TestRestoreUnresolvableScheme(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 1, 1, 0)
+	w := testWAL(t, dir)
+	spec := wal.CampaignSpec{
+		ID: "c3", Noise: "exact", K: 1, SchemeRef: "gone",
+		Batch: [][]int64{{0}, {0}, {0}},
+	}
+	if err := w.Begin(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("c3", wal.EventRecord{Seq: 1, Index: 2, Status: wal.StatusCompleted, Support: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2 := testWAL(t, dir)
+	logs, err := w2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(c, Config{WAL: w2})
+	defer st.Close()
+	restored := st.Restore(logs, func(wal.CampaignSpec) (*engine.Scheme, error) {
+		return nil, errors.New("scheme registry lost it")
+	})
+	if len(restored) != 1 || restored[0].State != "failed" {
+		t.Fatalf("restored: %+v", restored)
+	}
+	p := restored[0].Campaign.Progress()
+	if p.Completed != 1 || p.Failed != 2 || p.State != Done {
+		t.Fatalf("progress: %+v", p)
+	}
+	for _, res := range p.Results {
+		if res.Index != 2 && res.Error == "" {
+			t.Fatalf("missing job %d should carry the recovery error", res.Index)
+		}
+	}
+	if !reflect.DeepEqual(p.Results[2].Support, []int{1}) {
+		t.Fatalf("settled prefix lost: %+v", p.Results)
+	}
+}
+
+// TestGCReapsWALFile: retention GC of a finished campaign deletes its
+// log so the WAL directory stays bounded.
+func TestGCReapsWALFile(t *testing.T) {
+	dir := t.TempDir()
+	c := testCluster(t, 1, 1, 0)
+	w := testWAL(t, dir)
+	st := NewStore(c, Config{WAL: w, Retention: time.Millisecond})
+	defer st.Close()
+	const n, k, m, batch = 80, 2, 60, 2
+	s, _, ys := testBatch(t, c, n, k, m, batch, 17)
+
+	cp, err := st.Create(Request{Scheme: s, Batch: ys, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cp)
+	path := filepath.Join(dir, cp.ID()+".wal")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("log missing before GC: %v", err)
+	}
+	if got := st.GC(time.Now().Add(time.Hour)); got != 1 {
+		t.Fatalf("GC collected %d", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("log survived GC: %v", err)
+	}
+}

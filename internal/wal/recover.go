@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Log is one recovered campaign log, ready for campaign.Store.Restore.
+type Log struct {
+	Path      string
+	Spec      CampaignSpec
+	Events    []EventRecord // normalized: sorted, deduped, contiguous from seq 1
+	Canceled  bool          // a cancel record was journaled
+	Seal      *Seal         // terminal record, if the log is complete
+	Truncated bool          // a torn tail record was cut off
+}
+
+// Recover scans every log in the WAL directory and returns the
+// campaigns it can reconstruct, ordered by campaign sequence number so
+// restore re-admits them in creation order.
+//
+// The tail of a log is where a crash lands, so damage there is
+// expected: a record whose bytes run out, or whose checksum fails with
+// nothing after it, is a torn write — it is physically truncated away
+// and recovery continues. Damage anywhere else means the disk lied
+// (bit rot, tampering, a concurrent writer): that is not a crash
+// artifact, and Recover refuses with an error naming the file and
+// offset rather than serve a silently-wrong campaign.
+func (w *WAL) Recover() ([]Log, error) {
+	if w == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var logs []Log
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), logSuffix) {
+			continue
+		}
+		path := filepath.Join(w.dir, ent.Name())
+		lg, ok, err := w.recoverFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			logs = append(logs, lg)
+		}
+	}
+	sort.SliceStable(logs, func(i, j int) bool {
+		return campaignSeq(logs[i].Spec.ID) < campaignSeq(logs[j].Spec.ID)
+	})
+	return logs, nil
+}
+
+// campaignSeq extracts the numeric part of a "c<n>" campaign id for
+// ordering (0 when the id has another shape).
+func campaignSeq(id string) int64 {
+	if len(id) < 2 || id[0] != 'c' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// recoverFile replays one log. ok=false skips the file (never
+// acknowledged to a client); a non-nil error refuses boot.
+func (w *WAL) recoverFile(path string) (Log, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Log{}, false, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) == 0 {
+		// Created but never written: Begin fsyncs header+spec in one
+		// write, so this campaign was never acknowledged. Drop it.
+		w.log.Warn("wal: dropping empty log", "path", path)
+		os.Remove(path)
+		return Log{}, false, nil
+	}
+	if len(data) < len(fileHeader) || string(data[:4]) != string(fileHeader[:4]) {
+		return Log{}, false, fmt.Errorf("wal: %s: bad file header (not a campaign log)", path)
+	}
+	if data[4] != walVersion {
+		return Log{}, false, fmt.Errorf("wal: %s: unsupported log version %d (have %d)", path, data[4], walVersion)
+	}
+
+	lg := Log{Path: path}
+	pos := len(fileHeader)
+	first := true
+	for pos < len(data) {
+		recStart := pos
+		payload, next, torn, ferr := readFramedRecord(data, pos)
+		if ferr != nil {
+			if !torn {
+				return Log{}, false, fmt.Errorf("wal: %s: corrupt record at offset %d: %v", path, recStart, ferr)
+			}
+			if err := w.truncateTail(path, &lg, recStart, ferr); err != nil {
+				return Log{}, false, err
+			}
+			break
+		}
+		rec, perr := parsePayload(payload)
+		if perr != nil {
+			// The frame checksummed clean but the payload is invalid —
+			// tolerable only as the final record (a torn write can
+			// produce any bytes); earlier it means real corruption.
+			if next < len(data) {
+				return Log{}, false, fmt.Errorf("wal: %s: corrupt record at offset %d: %v", path, recStart, perr)
+			}
+			if err := w.truncateTail(path, &lg, recStart, perr); err != nil {
+				return Log{}, false, err
+			}
+			break
+		}
+		if first && rec.kind != recSpec {
+			return Log{}, false, fmt.Errorf("wal: %s: first record has kind %d, want spec", path, rec.kind)
+		}
+		if !first && rec.kind == recSpec {
+			return Log{}, false, fmt.Errorf("wal: %s: duplicate spec record at offset %d", path, recStart)
+		}
+		switch rec.kind {
+		case recSpec:
+			lg.Spec = rec.spec
+		case recEvent:
+			lg.Events = append(lg.Events, rec.event)
+		case recCancel:
+			lg.Canceled = true
+		case recSeal:
+			s := rec.seal
+			lg.Seal = &s
+		}
+		first = false
+		pos = next
+		if lg.Seal != nil && pos < len(data) {
+			return Log{}, false, fmt.Errorf("wal: %s: %d bytes after seal record", path, len(data)-pos)
+		}
+	}
+	if first {
+		// Header only — the spec write itself was torn. Same as empty:
+		// the campaign was never acknowledged.
+		w.log.Warn("wal: dropping log with no spec record", "path", path)
+		os.Remove(path)
+		return Log{}, false, nil
+	}
+	if want := filepath.Base(path); lg.Spec.ID+logSuffix != want {
+		return Log{}, false, fmt.Errorf("wal: %s: spec names campaign %q (file renamed?)", path, lg.Spec.ID)
+	}
+	lg.Events = normalizeEvents(lg.Events)
+	return lg, true, nil
+}
+
+// readFramedRecord decodes one record frame at pos: length prefix,
+// payload, CRC32C. torn reports whether a failure is consistent with a
+// torn tail write — the bytes simply run out at EOF, or the final
+// checksum covers exactly the last bytes of the file. A checksum
+// mismatch with data after it cannot be a torn write and is flagged as
+// interior corruption instead.
+func readFramedRecord(data []byte, pos int) (payload []byte, next int, torn bool, err error) {
+	n, used := binary.Uvarint(data[pos:])
+	if used <= 0 {
+		return nil, 0, true, fmt.Errorf("torn length prefix at offset %d", pos)
+	}
+	start := pos
+	pos += used
+	if rem := uint64(len(data) - pos); n > rem || rem-n < 4 {
+		return nil, 0, true, fmt.Errorf("record at offset %d claims %d bytes, %d remain", start, n, len(data)-pos)
+	}
+	if n > maxWALRecord {
+		return nil, 0, false, fmt.Errorf("record at offset %d claims %d bytes, limit %d", start, n, maxWALRecord)
+	}
+	end := pos + int(n)
+	payload = data[pos:end]
+	want := binary.LittleEndian.Uint32(data[end : end+4])
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, 0, end+4 == len(data),
+			fmt.Errorf("checksum mismatch at offset %d (got %08x want %08x)", start, got, want)
+	}
+	return payload, end + 4, false, nil
+}
+
+// truncateTail physically cuts a torn tail record off the log so the
+// file is clean for Resume appends, and records the fact.
+func (w *WAL) truncateTail(path string, lg *Log, offset int, cause error) error {
+	w.log.Warn("wal: truncating torn tail record", "path", path, "offset", offset, "cause", cause)
+	if err := os.Truncate(path, int64(offset)); err != nil {
+		return fmt.Errorf("wal: %s: truncating torn tail at %d: %w", path, offset, err)
+	}
+	lg.Truncated = true
+	// A seal or cancel read before a torn tail cannot exist: the seal is
+	// the last record by construction, so a torn record after one is the
+	// interior-garbage case caught above.
+	return nil
+}
+
+// normalizeEvents sorts by seq, drops duplicates (last write wins), and
+// keeps only the contiguous prefix starting at seq 1 — events past a
+// gap are unreachable by the SSE cursor contract, and their jobs
+// re-dispatch anyway.
+func normalizeEvents(events []EventRecord) []EventRecord {
+	if len(events) == 0 {
+		return nil
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	out := events[:0]
+	for _, ev := range events {
+		if n := len(out); n > 0 && out[n-1].Seq == ev.Seq {
+			out[n-1] = ev
+			continue
+		}
+		if ev.Seq != int64(len(out))+1 {
+			break
+		}
+		out = append(out, ev)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
