@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote bench-kernels bench-smoke fuzz-seeds metrics-lint crash-smoke clean
+.PHONY: all build vet test test-full race bench bench-noise bench-stream bench-remote bench-kernels bench-smoke fuzz-seeds metrics-lint crash-smoke elastic-smoke clean
 
 all: build vet test
 
@@ -75,17 +75,21 @@ fuzz-seeds:
 # Scrape a live frontend + worker pair and run both expositions through
 # promcheck (the in-repo, dependency-free Prometheus text-format linter).
 # Catches malformed escaping, non-cumulative buckets, and duplicate
-# series before a real Prometheus ever sees them.
+# series before a real Prometheus ever sees them. The fleet is churned
+# through the membership API first, so the ring/membership series are
+# linted with real values, not just their zero forms.
 metrics-lint:
 	@set -e; \
 	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/pooledd ./cmd/pooledd; \
 	$(GO) build -o $$tmp/promcheck ./cmd/promcheck; \
 	$$tmp/pooledd -worker -addr 127.0.0.1:19390 -shards 2 & wpid=$$!; \
+	$$tmp/pooledd -worker -addr 127.0.0.1:19391 -shards 2 & w2pid=$$!; \
 	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 -wal-dir $$tmp/wal & fpid=$$!; \
-	trap 'kill $$wpid $$fpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	trap 'kill $$wpid $$w2pid $$fpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	for i in $$(seq 1 50); do \
 	  curl -sf http://127.0.0.1:19390/metrics >/dev/null && \
+	  curl -sf http://127.0.0.1:19391/metrics >/dev/null && \
 	  curl -sf http://127.0.0.1:19392/metrics >/dev/null && break; \
 	  sleep 0.2; \
 	done; \
@@ -93,10 +97,22 @@ metrics-lint:
 	  -d '{"design":"random-regular","n":400,"m":200,"seed":1}' >/dev/null; \
 	curl -sf -X POST http://127.0.0.1:19392/v1/decode \
 	  -d "{\"scheme\":\"s1\",\"k\":0,\"counts\":[$$(printf '0,%.0s' $$(seq 1 199))0]}" >/dev/null; \
+	curl -sf -X POST http://127.0.0.1:19392/v1/workers \
+	  -d '{"addr":"127.0.0.1:19391"}' >/dev/null; \
+	curl -sf -X DELETE http://127.0.0.1:19392/v1/workers/127.0.0.1:19391 >/dev/null; \
 	curl -sf http://127.0.0.1:19390/metrics | $$tmp/promcheck; \
 	curl -sf http://127.0.0.1:19392/metrics | $$tmp/promcheck; \
-	curl -sf http://127.0.0.1:19392/metrics | grep -q '^pooled_wal_appends_total' || \
-	  { echo "metrics-lint: WAL series missing from frontend exposition" >&2; exit 1; }; \
+	curl -sf http://127.0.0.1:19392/metrics >$$tmp/front.prom; \
+	for series in pooled_wal_appends_total pooled_ring_members \
+	  pooled_ring_changes_total pooled_jobs_redispatched_total \
+	  pooled_scheme_migrations_total; do \
+	  grep -q "^$$series" $$tmp/front.prom || \
+	    { echo "metrics-lint: $$series missing from frontend exposition" >&2; exit 1; }; \
+	done; \
+	grep -q '^pooled_ring_changes_total{op="add"} 1' $$tmp/front.prom || \
+	  { echo "metrics-lint: ring add not counted after /v1/workers churn" >&2; exit 1; }; \
+	grep -q '^pooled_ring_changes_total{op="remove"} 1' $$tmp/front.prom || \
+	  { echo "metrics-lint: ring remove not counted after /v1/workers churn" >&2; exit 1; }; \
 	echo "metrics-lint: worker and frontend expositions are clean"
 
 # Crash-recovery end to end against a real binary: SIGKILL pooledd mid-
@@ -104,6 +120,12 @@ metrics-lint:
 # completes with a contiguous, exactly-once event stream.
 crash-smoke:
 	sh scripts/crash-smoke.sh
+
+# Elastic fleet end to end against real binaries: register a second
+# worker mid-campaign over the membership API, SIGKILL the first, and
+# assert zero failed jobs plus the membership churn in /v1/stats.
+elastic-smoke:
+	sh scripts/elastic-smoke.sh
 
 clean:
 	$(GO) clean ./...

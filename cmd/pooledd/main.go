@@ -57,7 +57,17 @@
 //	                               worker health/addr, cache hits, rejected jobs,
 //	                               decode-latency histograms, jobs_by_noise per-model
 //	                               counters, campaign gauges, per-tenant gauges with
-//	                               decode-latency histograms)
+//	                               decode-latency histograms, ring membership counters)
+//	GET    /v1/workers             fleet membership: every tracked worker with health
+//	                               and ring status (-workers frontends only)
+//	POST   /v1/workers             {"addr":"node3:9090"} registers a worker at runtime:
+//	                               joins it to the consistent-hash ring and migrates its
+//	                               share of the registered schemes → 201 + member list
+//	DELETE /v1/workers/{addr}      drains a worker: flushes its queue to it, removes it
+//	                               from the ring, stops its health probe (409 for the
+//	                               last worker; a probe-evicted worker instead rejoins
+//	                               automatically on its next successful probe, tuned by
+//	                               -evict-after)
 //	GET    /metrics                Prometheus text exposition of the same surface
 //	                               (served by both modes: frontend and -worker)
 //
@@ -103,6 +113,7 @@ func main() {
 	workerMode := flag.Bool("worker", false, "serve only the shard worker API (the backend a -workers frontend drives)")
 	workerAddrs := flag.String("workers", "", "comma-separated worker addresses (host:port); the frontend decodes on these pooledd -worker processes instead of local shards")
 	workerTimeout := flag.Duration("worker-timeout", 0, "per-request deadline against remote workers (0: 60s)")
+	evictAfter := flag.Int("evict-after", 0, "consecutive health-probe failures before a worker is evicted from the ring; it rejoins on the next successful probe (0: 3, negative: never evict)")
 	shards := flag.Int("shards", 4, "engine shard count (each shard owns its cache and worker pool); with -workers, the shard count is the worker count")
 	cache := flag.Int("cache", 16, "scheme cache capacity per shard (LRU)")
 	shardWorkers := flag.Int("shard-workers", 0, "decode workers per shard (0: GOMAXPROCS/shards)")
@@ -143,20 +154,17 @@ func main() {
 
 	reg := metrics.NewRegistry()
 	var cluster *engine.Cluster
+	var workers *fleet
 	if *workerAddrs != "" {
 		addrs := splitList(*workerAddrs)
 		if len(addrs) == 0 {
 			fmt.Fprintf(os.Stderr, "pooledd: -workers %q names no worker addresses\n", *workerAddrs)
 			os.Exit(1)
 		}
-		remotes := make([]engine.Shard, len(addrs))
-		for i, a := range addrs {
-			remotes[i] = remote.New(remote.Options{
-				Addr: a, RequestTimeout: *workerTimeout,
-				Metrics: reg, Logger: logger,
-			})
-		}
-		cluster = engine.NewClusterOf(remotes...)
+		workers, cluster = newFleet(addrs, fleetConfig{
+			timeout: *workerTimeout, evictAfter: *evictAfter,
+			reg: reg, log: logger,
+		})
 		logger.Info("fronting remote workers", "count", len(addrs), "addrs", strings.Join(addrs, ", "))
 	} else {
 		cluster = engine.NewCluster(engine.ClusterConfig{
@@ -198,6 +206,10 @@ func main() {
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
 	srv.instrument(reg, logger)
+	if workers != nil {
+		srv.fleet = workers
+		workers.onChange = srv.migrateSchemes
+	}
 	if *designs != "" {
 		if err := preloadDesigns(cluster, srv, splitList(*designs), os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "pooledd: %v\n", err)

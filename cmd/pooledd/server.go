@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pooleddata/internal/campaign"
@@ -30,6 +31,15 @@ type server struct {
 	cluster   *engine.Cluster
 	campaigns *campaign.Store
 	start     time.Time
+
+	// fleet is the runtime worker-membership manager — nil on a
+	// local-shard frontend, where the topology is fixed at boot and the
+	// /v1/workers endpoints reject.
+	fleet *fleet
+
+	// schemeMigrations counts registry entries re-homed after ring
+	// changes (the pooled_scheme_migrations_total backing).
+	schemeMigrations atomic.Uint64
 
 	// maxSchemes bounds the id registry: beyond it the oldest entries are
 	// dropped (their ids start returning 404), so uploaded ad-hoc designs
@@ -68,7 +78,11 @@ type schemeEntry struct {
 	M      int    `json:"m"`
 	Seed   uint64 `json:"seed"`
 	Shard  int    `json:"shard"`
-	AdHoc  bool   `json:"ad_hoc,omitempty"`
+	// Owner is the ring ID of the member owning this scheme's routing
+	// key right now; it moves when membership changes. Empty for
+	// schemes with no routing key.
+	Owner string `json:"owner,omitempty"`
+	AdHoc bool   `json:"ad_hoc,omitempty"`
 
 	// Design parameters of parametric schemes, kept so the -snapshot file
 	// can rebuild the scheme on the next boot.
@@ -111,6 +125,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
+	mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
+	mux.HandleFunc("DELETE /v1/workers/{addr}", s.handleRemoveWorker)
 	mux.Handle("GET /metrics", s.metrics.Handler())
 	// Catch-all so unknown routes return a JSON body like every other
 	// error path, not the mux's text/plain 404.
@@ -230,6 +247,7 @@ func (s *server) register(es *engine.Scheme, design string, n, m int, seed uint6
 	ent := &schemeEntry{
 		ID:     fmt.Sprintf("s%d", s.nextID),
 		Design: design, N: n, M: m, Seed: seed, Shard: es.Home(), AdHoc: adhoc,
+		Owner: s.cluster.OwnerID(es.RouteKey()),
 		Gamma: params.Gamma, P: params.P, D: params.D,
 		scheme: es,
 	}
@@ -587,7 +605,14 @@ type campaignGauges struct {
 // compatibility, the per-shard breakdown, and server-level fields.
 type statsResponse struct {
 	engine.Stats
-	Shards            []engine.ShardStats             `json:"shards"`
+	Shards []engine.ShardStats `json:"shards"`
+	// Members is the current consistent-hash-ring membership; the adds/
+	// removes counters are lifetime runtime ring changes (joins, drains,
+	// evictions, rejoins — boot placement is not counted).
+	Members           []string                        `json:"members"`
+	MembershipAdds    uint64                          `json:"membership_adds"`
+	MembershipRemoves uint64                          `json:"membership_removes"`
+	SchemeMigrations  uint64                          `json:"scheme_migrations"`
 	Schemes           int                             `json:"schemes"`
 	Campaigns         campaignGauges                  `json:"campaigns"`
 	Tenants           map[string]campaign.TenantStats `json:"tenants"`
@@ -605,9 +630,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	active, finished := s.campaigns.Counts()
 	resp := statsResponse{
-		Stats:   cs.Total,
-		Shards:  cs.Shards,
-		Schemes: n,
+		Stats:             cs.Total,
+		Shards:            cs.Shards,
+		Members:           cs.Members,
+		MembershipAdds:    cs.MembershipAdds,
+		MembershipRemoves: cs.MembershipRemoves,
+		SchemeMigrations:  s.schemeMigrations.Load(),
+		Schemes:           n,
 		Campaigns: campaignGauges{
 			Active: active, Finished: finished, Retained: active + finished,
 		},
@@ -622,4 +651,117 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.AvgDec = float64(cs.Total.TotalDecodeTime.Milliseconds()) / float64(cs.Total.JobsCompleted)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// Runtime worker membership. The endpoints exist only on a -workers
+// frontend: with local shards the topology is sized at boot and there
+// is nothing to register a worker into.
+
+// workerRequest is the JSON body of POST /v1/workers.
+type workerRequest struct {
+	Addr string `json:"addr"`
+}
+
+func (s *server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		httpError(w, http.StatusBadRequest, "worker membership requires a -workers frontend")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": s.fleet.Status(),
+		"members": s.cluster.MemberIDs(),
+	})
+}
+
+// handleAddWorker joins a `pooledd -worker` to the fleet at runtime:
+// the new member takes its arcs on the ring, owned schemes migrate to
+// it, and the campaign dispatcher starts offering it jobs immediately.
+func (s *server) handleAddWorker(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		httpError(w, http.StatusBadRequest, "worker membership requires a -workers frontend")
+		return
+	}
+	var req workerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse request: %v", err)
+		return
+	}
+	if req.Addr == "" {
+		httpError(w, http.StatusBadRequest, "missing worker addr")
+		return
+	}
+	if err := s.fleet.Add(req.Addr); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	s.log.Info("worker registered", "trace_id", traceFrom(r.Context()), "addr", req.Addr)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"addr":    req.Addr,
+		"members": s.cluster.MemberIDs(),
+	})
+}
+
+// handleRemoveWorker drains a worker: its arcs move to the survivors,
+// schemes migrate off it, and queued jobs re-dispatch through the ring.
+func (s *server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	if s.fleet == nil {
+		httpError(w, http.StatusBadRequest, "worker membership requires a -workers frontend")
+		return
+	}
+	addr := r.PathValue("addr")
+	err := s.fleet.Remove(addr)
+	switch {
+	case errors.Is(err, engine.ErrUnknownShard):
+		httpError(w, http.StatusNotFound, "unknown worker %q", addr)
+	case errors.Is(err, engine.ErrLastShard):
+		httpError(w, http.StatusConflict, "cannot drain the last worker")
+	case err != nil:
+		httpError(w, http.StatusConflict, "%v", err)
+	default:
+		s.log.Info("worker drained", "trace_id", traceFrom(r.Context()), "addr", addr)
+		writeJSON(w, http.StatusOK, map[string]any{"members": s.cluster.MemberIDs()})
+	}
+}
+
+// migrateSchemes re-resolves every registered scheme's ring owner after
+// a membership change and warms the caches of the new owners, so the
+// first decode after a topology change pays a cache install, not a
+// rebuild-plus-install. Correctness never depends on it — routing
+// re-resolves per submit — it is purely cache warmth plus accurate
+// registry metadata.
+func (s *server) migrateSchemes(reason string) {
+	s.mu.Lock()
+	ents := make([]*schemeEntry, 0, len(s.schemes))
+	for _, ent := range s.schemes {
+		ents = append(ents, ent)
+	}
+	s.mu.Unlock()
+
+	moved := 0
+	for _, ent := range ents {
+		key := ent.scheme.RouteKey()
+		owner := s.cluster.OwnerID(key)
+		s.mu.Lock()
+		stale := owner != ent.Owner
+		s.mu.Unlock()
+		if !stale {
+			continue
+		}
+		var fresh *engine.Scheme
+		if ent.AdHoc {
+			fresh = s.cluster.SchemeFromGraph(ent.scheme.G)
+		} else {
+			fresh = s.cluster.InstallScheme(ent.scheme.Spec, ent.scheme.G)
+		}
+		s.mu.Lock()
+		ent.Owner = owner
+		ent.Shard = fresh.Home()
+		ent.scheme = fresh
+		s.mu.Unlock()
+		moved++
+	}
+	if moved > 0 {
+		s.schemeMigrations.Add(uint64(moved))
+		s.log.Info("schemes migrated", "reason", reason, "moved", moved)
+	}
 }

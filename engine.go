@@ -52,6 +52,12 @@ type EngineOptions struct {
 	// frontend keeps the graphs) and decode jobs run on the workers,
 	// with health probes and bounded retry-then-fail failover. Shards,
 	// CacheCapacity, Workers, and QueueDepth are ignored in this mode.
+	//
+	// The boot list is a starting point, not a commitment: membership
+	// is elastic at runtime via AddRemoteWorker/RemoveWorker. Schemes
+	// are placed on a consistent-hash ring over the members, so a
+	// topology change moves only the arcs adjacent to the changed
+	// member — the rest of the fleet keeps its caches warm.
 	RemoteWorkers []string
 	// MetricsRegistry, when set, receives the engine's observability
 	// surface: pipeline counters and stage timers, per-shard gauges,
@@ -161,6 +167,7 @@ type DecodeResult struct {
 type Engine struct {
 	inner     *engine.Cluster
 	campaigns *campaign.Store
+	reg       *metrics.Registry
 }
 
 // NewEngine starts an engine cluster — local shards, or remote shard
@@ -190,7 +197,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	})
 	engine.RegisterClusterMetrics(opts.MetricsRegistry, inner)
 	campaign.RegisterStoreMetrics(opts.MetricsRegistry, st)
-	return &Engine{inner: inner, campaigns: st}
+	return &Engine{inner: inner, campaigns: st, reg: opts.MetricsRegistry}
 }
 
 // Close stops the campaign dispatcher, drains every shard's decode
@@ -198,6 +205,40 @@ func NewEngine(opts EngineOptions) *Engine {
 func (e *Engine) Close() {
 	e.campaigns.Close()
 	e.inner.Close()
+}
+
+// AddRemoteWorker joins a `pooledd -worker` at addr to the fleet at
+// runtime. The new member takes over its consistent-hash arcs
+// immediately: schemes whose keys land there are served by it from the
+// next request on, and in-flight campaigns start offering it jobs.
+// Fails on a duplicate address. Mixing a remote worker into a
+// local-shard engine is allowed — the ring routes across both.
+func (e *Engine) AddRemoteWorker(addr string) error {
+	sh := remote.New(remote.Options{Addr: addr, Metrics: e.reg})
+	if err := e.inner.AddShard(addr, sh); err != nil {
+		sh.Close()
+		return err
+	}
+	return nil
+}
+
+// RemoveWorker drains the fleet member with the given id (the worker
+// address, or "local-<i>" for boot-time local shards) out of the ring
+// and closes it. Its arcs move to the surviving members; queued
+// campaign jobs that were bound for it re-dispatch through the ring
+// rather than failing. Removing the last member is refused.
+func (e *Engine) RemoveWorker(id string) error {
+	sh, err := e.inner.RemoveShard(id)
+	if err != nil {
+		return err
+	}
+	sh.Close()
+	return nil
+}
+
+// Members lists the current consistent-hash-ring membership, sorted.
+func (e *Engine) Members() []string {
+	return e.inner.MemberIDs()
 }
 
 // Stats returns a snapshot of the cluster counters: the fleet-wide

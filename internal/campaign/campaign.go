@@ -186,6 +186,10 @@ type Campaign struct {
 	canceledFlag  bool
 	expiredFlag   bool
 	quotaReleased bool // expiry already returned the unsettled jobs' quota
+	// redisp counts per-job re-dispatches after shard-unavailable
+	// failures, keyed by batch index — the budget that keeps a campaign
+	// terminating when no healthy shard ever appears.
+	redisp        map[int]int
 	completed     int
 	failed        int
 	canceledJobs  int
@@ -304,6 +308,27 @@ func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	if releaseQuota && cp.onSettled != nil {
 		cp.onSettled(jr.DecodeNS, err == nil)
 	}
+}
+
+// allowRedispatch charges one unit of job idx's re-dispatch budget.
+// It refuses — so the job settles with its error instead of requeueing —
+// once the campaign is terminal-bound (canceled, expired, sealed) or the
+// budget is spent: with no healthy shard ever appearing, the campaign
+// must still terminate, exactly as it did before elastic membership.
+func (cp *Campaign) allowRedispatch(idx, limit int) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.canceledFlag || cp.expiredFlag || cp.sealed {
+		return false
+	}
+	if cp.redisp == nil {
+		cp.redisp = make(map[int]int)
+	}
+	if cp.redisp[idx] >= limit {
+		return false
+	}
+	cp.redisp[idx]++
+	return true
 }
 
 // journalEventLocked appends one settled job to the WAL, mirroring the
@@ -512,6 +537,11 @@ type Store struct {
 	requeues      atomic.Uint64
 	gcCollected   atomic.Uint64
 	expiredReaped atomic.Uint64
+	// Orphan re-dispatch counters, by discovery path: a job that settled
+	// with a shard-unavailable error (the dead worker's in-flight work)
+	// vs. an Offer the dispatcher saw fail synchronously.
+	redispatchedDead  atomic.Uint64
+	redispatchedOffer atomic.Uint64
 
 	mu           sync.Mutex
 	nextID       int
@@ -680,16 +710,27 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 
 	// Queue the jobs for the dispatcher. One OnDone callback is shared by
 	// the whole batch; the engine routes each settlement back by its tag.
-	onDone := func(res engine.Result, err error) { cp.settle(res.Tag, res, err) }
+	// A settlement caused by the owning shard dying (not by the job) is
+	// intercepted and the original job re-enters the fair-dispatch queue,
+	// where Offer re-resolves its owner against the current ring — the
+	// dead worker's in-flight work migrates to survivors instead of
+	// failing the campaign.
+	jobs := make([]engine.Job, len(req.Batch))
+	var onDone func(engine.Result, error)
+	onDone = func(res engine.Result, err error) {
+		if err != nil && errors.Is(err, engine.ErrShardUnavailable) &&
+			st.maybeRedispatch(pendingJob{cp: cp, job: jobs[res.Tag]}, &st.redispatchedDead) {
+			return
+		}
+		cp.settle(res.Tag, res, err)
+	}
 	ts.unsettled += len(req.Batch)
 	for i, y := range req.Batch {
-		ts.push(pendingJob{
-			cp: cp,
-			job: engine.Job{
-				Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
-				Tag: i, OnDone: onDone, TraceID: req.TraceID,
-			},
-		})
+		jobs[i] = engine.Job{
+			Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
+			Tag: i, OnDone: onDone, TraceID: req.TraceID,
+		}
+		ts.push(pendingJob{cp: cp, job: jobs[i]})
 	}
 	st.pendingTotal += len(req.Batch)
 	st.mu.Unlock()

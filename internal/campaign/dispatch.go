@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"pooleddata/internal/engine"
@@ -27,6 +28,14 @@ import (
 // dispatchable head job hit a saturated shard queue. Short enough that
 // a draining worker is picked up promptly, long enough not to spin.
 const saturationBackoff = 2 * time.Millisecond
+
+// maxRedispatches bounds how many times one job is requeued after
+// shard-unavailable failures before it settles with the error. Each
+// attempt re-resolves ownership against the current ring, and a dead
+// worker flips unhealthy on its first failed round trip, so one or two
+// attempts normally suffice; the bound exists for fleets with no
+// survivors, where the campaign must still terminate.
+const maxRedispatches = 8
 
 // pendingJob is one admitted job awaiting dispatch.
 type pendingJob struct {
@@ -277,6 +286,36 @@ func (st *Store) requeueFront(pj pendingJob) {
 	st.pendingTotal++
 }
 
+// maybeRedispatch requeues a job that failed because its shard was
+// unavailable, charging the campaign's per-job budget and bumping
+// counter. It reports whether the job was requeued; false means the
+// caller settles the job with its error (campaign canceled/expired,
+// budget spent, or store closed). Runs on engine/remote worker
+// goroutines (the OnDone path) and on the dispatcher.
+func (st *Store) maybeRedispatch(pj pendingJob, counter *atomic.Uint64) bool {
+	if pj.cp.ctx.Err() != nil {
+		return false
+	}
+	if !pj.cp.allowRedispatch(pj.job.Tag, maxRedispatches) {
+		return false
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return false
+	}
+	// Push to the back of the tenant's queue for the scheme's shard: the
+	// orphan rejoins the fair rotation rather than jumping it. jobShard
+	// keys on the scheme's creation home; Offer re-resolves the real
+	// owner when the job's turn comes.
+	st.tenantLocked(pj.cp.tenant).push(pj)
+	st.pendingTotal++
+	st.mu.Unlock()
+	counter.Add(1)
+	st.signalWake()
+	return true
+}
+
 // dispatchLoop is the Store's dispatcher goroutine: round-robin across
 // tenants (and across shards within a tenant), one job per turn, until
 // Close. saturatedStreak counts consecutive Offer calls that hit a full
@@ -316,6 +355,27 @@ func (st *Store) dispatchLoop() {
 			// every busy tenant's turn has failed in a row.
 			st.requeueFront(pj)
 			st.requeues.Add(1)
+			saturatedStreak++
+			if saturatedStreak < st.busyQueues() {
+				continue
+			}
+			saturatedStreak = 0
+			select {
+			case <-st.wake:
+			case <-time.After(saturationBackoff):
+			case <-st.stop:
+				st.drainPending()
+				return
+			}
+		case (errors.Is(err, engine.ErrShardUnavailable) || errors.Is(err, engine.ErrClosed)) &&
+			st.maybeRedispatch(pj, &st.redispatchedOffer):
+			// The owner was unreachable and no healthy member could take the
+			// key (ring lookup already walks past unhealthy shards), or the
+			// offer raced an administrative drain and landed on a member
+			// closing out of the ring. The job is requeued; pace like
+			// saturation so the loop does not spin while the whole fleet is
+			// dark. (maybeRedispatch refuses once the store itself closes,
+			// so shutdown still settles instead of bouncing.)
 			saturatedStreak++
 			if saturatedStreak < st.busyQueues() {
 				continue

@@ -30,6 +30,9 @@ func RegisterStoreMetrics(reg *metrics.Registry, st *Store) {
 		e.Counter("pooled_campaign_rotations_total", "Tenant rotation turns taken by the dispatcher.", float64(st.rotations.Load()))
 		e.Counter("pooled_campaign_credits_total", "Weighted turn credits granted across rotation turns.", float64(st.creditsGiven.Load()))
 		e.Counter("pooled_campaign_requeues_total", "Jobs requeued because their shard queue was saturated.", float64(st.requeues.Load()))
+		const redispHelp = "Campaign jobs re-dispatched to surviving shards after a shard-unavailable failure, by discovery path."
+		e.Counter("pooled_jobs_redispatched_total", redispHelp, float64(st.redispatchedDead.Load()), "reason", "settled_unavailable")
+		e.Counter("pooled_jobs_redispatched_total", redispHelp, float64(st.redispatchedOffer.Load()), "reason", "offer_unavailable")
 		e.Counter("pooled_campaigns_gc_total", "Campaigns reaped by retention GC.", float64(st.gcCollected.Load()))
 		e.Counter("pooled_campaigns_expired_total", "Reaped campaigns that expired with unsettled jobs.", float64(st.expiredReaped.Load()))
 

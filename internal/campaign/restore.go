@@ -225,8 +225,18 @@ func (st *Store) restoreOne(lg wal.Log, resolve SchemeResolver) RestoredCampaign
 	}
 
 	// Re-dispatch the unsettled jobs through the normal fair-dispatch
-	// path. The shared OnDone routes settlements by tag, same as Create.
-	onDone := func(res engine.Result, err error) { cp.settle(res.Tag, res, err) }
+	// path. The shared OnDone routes settlements by tag, same as Create —
+	// including the shard-unavailable interception, so a recovered
+	// campaign survives a dead worker the same way a fresh one does.
+	jobs := make([]engine.Job, total)
+	var onDone func(engine.Result, error)
+	onDone = func(res engine.Result, err error) {
+		if err != nil && errors.Is(err, engine.ErrShardUnavailable) &&
+			st.maybeRedispatch(pendingJob{cp: cp, job: jobs[res.Tag]}, &st.redispatchedDead) {
+			return
+		}
+		cp.settle(res.Tag, res, err)
+	}
 	redispatched := 0
 	st.mu.Lock()
 	ts := st.tenantLocked(tenant)
@@ -234,13 +244,11 @@ func (st *Store) restoreOne(lg wal.Log, resolve SchemeResolver) RestoredCampaign
 		if seen[i] {
 			continue
 		}
-		ts.push(pendingJob{
-			cp: cp,
-			job: engine.Job{
-				Scheme: es, Y: y, K: spec.K, Noise: nm, Dec: dec,
-				Tag: i, OnDone: onDone, TraceID: spec.TraceID,
-			},
-		})
+		jobs[i] = engine.Job{
+			Scheme: es, Y: y, K: spec.K, Noise: nm, Dec: dec,
+			Tag: i, OnDone: onDone, TraceID: spec.TraceID,
+		}
+		ts.push(pendingJob{cp: cp, job: jobs[i]})
 		redispatched++
 	}
 	ts.unsettled += redispatched

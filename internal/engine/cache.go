@@ -2,8 +2,12 @@ package engine
 
 import (
 	"container/list"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"pooleddata/internal/graph"
 	"pooleddata/internal/pooling"
@@ -27,6 +31,37 @@ func SpecFor(des pooling.Design, n, m int, seed uint64) Spec {
 	return Spec{Design: fmt.Sprintf("%s%+v", des.Name(), des), N: n, M: m, Seed: seed}
 }
 
+// Key is the canonical routing/identity string of a spec — the value
+// hashed onto the consistent-hash ring, stable across processes and
+// restarts.
+func (sp Spec) Key() string {
+	return fmt.Sprintf("%s|%d|%d|%d", sp.Design, sp.N, sp.M, sp.Seed)
+}
+
+// GraphKey is the content-addressed routing key of an ad-hoc design: an
+// FNV-1a digest over the graph's full query-side incidence (dimensions,
+// entries, multiplicities). Re-uploading byte-identical pool definitions
+// yields the same key, so ad-hoc schemes land on the same shard across
+// uploads and membership changes.
+func GraphKey(g *graph.Bipartite) string {
+	h := fnv.New64a()
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		h.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	put(uint64(g.N()))
+	put(uint64(g.M()))
+	for j := 0; j < g.M(); j++ {
+		ent, mul := g.QueryEntries(j)
+		put(uint64(len(ent)))
+		for p := range ent {
+			put(uint64(ent[p]))
+			put(uint64(mul[p]))
+		}
+	}
+	return "adhoc|" + strconv.FormatUint(h.Sum64(), 16)
+}
+
 // Scheme is a cached pooling design: the immutable bipartite graph plus
 // the lazily-built query-side multiplicity matrix shared by every job
 // that verifies residuals against this design. Safe for concurrent use.
@@ -38,8 +73,17 @@ type Scheme struct {
 
 	// home is the index of the engine shard owning this scheme inside a
 	// Cluster (0 for standalone engines). Set at construction, before the
-	// scheme is published, so routing never races.
+	// scheme is published. It records where the scheme was created; ring
+	// routing re-resolves the owner by key at submit time, so a stale
+	// home after a membership change only affects fair-queue grouping,
+	// never correctness.
 	home int
+
+	// key is the consistent-hash routing key: the spec key for parametric
+	// schemes, a content hash for ad-hoc graphs. Empty for schemes from a
+	// standalone Engine; Cluster.Owner falls back to home for those. Set
+	// before the scheme is published, so routing never races.
+	key string
 
 	qmatOnce sync.Once
 	qmat     *sparse.CSR
@@ -48,16 +92,31 @@ type Scheme struct {
 	ext     any
 }
 
-// Home reports the cluster shard that owns this scheme (0 when the
-// scheme came from a standalone Engine).
+// Home reports the cluster shard index this scheme was created on (0
+// when the scheme came from a standalone Engine). With ring routing this
+// is a creation-time snapshot used for fair-queue grouping and stats;
+// ownership is re-resolved from RouteKey on every submit.
 func (s *Scheme) Home() int { return s.home }
+
+// RouteKey is the consistent-hash key the cluster routes this scheme by:
+// the canonical spec key for parametric schemes, a content hash for
+// ad-hoc uploads, or "" for schemes created outside a cluster (those
+// fall back to their home index).
+func (s *Scheme) RouteKey() string { return s.key }
 
 // NewSchemeAt wraps a prebuilt graph as a scheme owned by cluster shard
 // home — the constructor alternative Shard implementations (the remote
 // shard client) use so the schemes they hand out route back to them
-// inside a Cluster. spec may be zero for ad-hoc designs.
+// inside a Cluster. spec may be zero for ad-hoc designs; non-zero specs
+// stamp the spec routing key, ad-hoc schemes get their content hash.
 func NewSchemeAt(spec Spec, g *graph.Bipartite, home int) *Scheme {
-	return &Scheme{Spec: spec, G: g, home: home}
+	key := ""
+	if spec != (Spec{}) {
+		key = spec.Key()
+	} else if g != nil {
+		key = GraphKey(g)
+	}
+	return &Scheme{Spec: spec, G: g, home: home, key: key}
 }
 
 // Ext returns the caller-side wrapper attached to this scheme, creating
@@ -97,9 +156,12 @@ func (en *cacheEntry) done() bool {
 
 // cache is an LRU scheme cache with build deduplication.
 type cache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// home is the shard index stamped on every scheme this cache
+	// creates. Atomic: membership changes re-stamp it from the cluster
+	// mutation path while builds read it concurrently.
+	home    atomic.Int64
 	cap     int
-	home    int // shard index stamped on every scheme this cache creates
 	bys     map[Spec]*list.Element
 	lru     *list.List // front = most recently used; values are *cacheEntry
 	metrics *counters
@@ -143,7 +205,7 @@ func (c *cache) get(spec Spec, build func() (*graph.Bipartite, error)) (*Scheme,
 			c.lru.Remove(el)
 		}
 	} else {
-		ent.scheme = &Scheme{Spec: spec, G: g, home: c.home}
+		ent.scheme = &Scheme{Spec: spec, G: g, home: int(c.home.Load()), key: spec.Key()}
 		c.metrics.schemesBuilt.Add(1)
 	}
 	c.mu.Unlock()
@@ -156,7 +218,7 @@ func (c *cache) get(spec Spec, build func() (*graph.Bipartite, error)) (*Scheme,
 // serving their waiters; the map simply points at the new entry). This
 // is the warm-start path, so no build counters move.
 func (c *cache) put(spec Spec, g *graph.Bipartite) *Scheme {
-	ent := &cacheEntry{spec: spec, ready: make(chan struct{}), scheme: &Scheme{Spec: spec, G: g, home: c.home}}
+	ent := &cacheEntry{spec: spec, ready: make(chan struct{}), scheme: &Scheme{Spec: spec, G: g, home: int(c.home.Load()), key: spec.Key()}}
 	close(ent.ready)
 	c.mu.Lock()
 	defer c.mu.Unlock()

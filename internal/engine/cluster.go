@@ -2,9 +2,12 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"pooleddata/internal/bitvec"
@@ -68,9 +71,29 @@ type Shard interface {
 
 // HomeSetter is implemented by shards that stamp an owning-shard index
 // on the schemes they create (both *Engine and the remote client do).
-// NewClusterOf calls it with each shard's position so Scheme.Home
-// routing works for any Shard implementation.
+// The cluster calls it with each shard's position on every membership
+// change so Scheme.Home (fair-queue grouping, stats) tracks the current
+// view for newly created schemes.
 type HomeSetter interface{ SetHome(i int) }
+
+// ErrShardUnavailable marks a job settlement caused by the owning shard
+// being unreachable rather than by the job itself — the remote client's
+// ErrWorkerUnavailable wraps it. The campaign dispatcher matches it with
+// errors.Is to re-dispatch the orphaned job to a surviving shard instead
+// of failing the campaign.
+var ErrShardUnavailable = errors.New("engine: shard unavailable")
+
+// ErrLastShard is returned by RemoveShard when removal would leave the
+// cluster with no members.
+var ErrLastShard = errors.New("engine: cannot remove the last shard")
+
+// ErrUnknownShard is returned by RemoveShard for an ID not in the
+// current membership.
+var ErrUnknownShard = errors.New("engine: unknown shard")
+
+// ErrDuplicateShard is returned by AddShard for an ID already in the
+// current membership.
+var ErrDuplicateShard = errors.New("engine: duplicate shard id")
 
 // ClusterConfig sizes a Cluster of local engine shards.
 type ClusterConfig struct {
@@ -90,22 +113,61 @@ func (c ClusterConfig) shards() int {
 	return c.Shards
 }
 
+// member is one ring participant: a stable ID plus its shard.
+type member struct {
+	id string
+	sh Shard
+}
+
+// view is an immutable membership snapshot: the member list, the ID
+// index, and the consistent-hash ring over the member IDs. The cluster
+// publishes a new view on every membership change; readers load the
+// current one with a single atomic pointer load and never take a lock.
+type view struct {
+	members []member
+	byID    map[string]int
+	ring    *Ring
+}
+
+func newView(members []member) *view {
+	ids := make([]string, len(members))
+	byID := make(map[string]int, len(members))
+	for i, m := range members {
+		ids[i] = m.id
+		byID[m.id] = i
+	}
+	return &view{members: members, byID: byID, ring: NewRing(ids, DefaultVnodes)}
+}
+
 // Cluster shards the reconstruction engine: N independent Shards, each
 // with its own scheme cache and decode worker pool. Schemes are routed
-// to the owning shard by an FNV-1a hash of the canonical spec key
-// (design, n, m, seed), so one tenant's design can never evict another
-// tenant's cached scheme or starve its decode queue — the partitioned
-// form of the paper's one-design/many-signals regime (fix the design,
+// to their owning shard by a consistent-hash ring (DefaultVnodes virtual
+// nodes per member) over the scheme's routing key — the canonical spec
+// key for parametric designs, a content hash for ad-hoc uploads — so one
+// tenant's design can never evict another tenant's cached scheme or
+// starve its decode queue, and growing or shrinking the fleet moves only
+// ~K/N of the keyspace instead of reshuffling everything (the partitioned
+// form of the paper's one-design/many-signals regime: fix the design,
 // parallelize the per-signal work; shard by design so tenants compose).
+//
+// Membership is mutable at runtime: AddShard and RemoveShard build a new
+// immutable view (member list + ring) and swap it in via atomic pointer,
+// so the decode hot path stays lock-free — Owner is one atomic load plus
+// one binary search. Ownership is re-resolved from the scheme's routing
+// key on every submit, so jobs queued against a since-removed shard
+// automatically route to the key's new owner; unhealthy-but-not-yet-
+// evicted members are skipped by walking the ring to the next healthy
+// member.
 //
 // A Cluster exposes the same operational surface as a single Engine
 // (Scheme, Submit, Decode, DecodeBatch, MeasureBatch, Stats, Close);
-// jobs carry their scheme, and the scheme remembers its owning shard.
-// Shards may live in this process (NewCluster) or on other machines
+// shards may live in this process (NewCluster) or on other machines
 // behind the Shard interface (NewClusterOf with remote shard clients).
 type Cluster struct {
-	shards []Shard
-	next   atomic.Uint64 // round-robin placement of ad-hoc schemes
+	cur atomic.Pointer[view]
+	mu  sync.Mutex // serializes membership changes
+
+	adds, removes atomic.Uint64 // lifetime membership-change counters
 }
 
 // NewCluster starts cfg.Shards local engine shards.
@@ -125,55 +187,198 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 }
 
 // NewClusterOf assembles a cluster over preconstructed shards — local
-// engines, remote shard clients, or a mix. Each shard is told its index
-// (via HomeSetter) before first use, so the schemes it creates route
-// back to it.
+// engines, remote shard clients, or a mix. Each member's ring ID is its
+// remote address, or "local-<i>" for in-process shards; duplicate IDs
+// panic (two clients for one worker address is a wiring bug). Each shard
+// is told its index (via HomeSetter) before first use.
 func NewClusterOf(shards ...Shard) *Cluster {
 	if len(shards) == 0 {
 		panic("engine: NewClusterOf with no shards")
 	}
+	members := make([]member, len(shards))
+	seen := make(map[string]bool, len(shards))
 	for i, sh := range shards {
-		if hs, ok := sh.(HomeSetter); ok {
+		id := sh.Addr()
+		if id == "" {
+			id = "local-" + strconv.Itoa(i)
+		}
+		if seen[id] {
+			panic("engine: duplicate shard id " + id)
+		}
+		seen[id] = true
+		members[i] = member{id: id, sh: sh}
+	}
+	c := &Cluster{}
+	c.install(newView(members))
+	return c
+}
+
+// install publishes v and re-stamps every member's home index to its
+// position in the new view. Caller holds c.mu (or is the constructor).
+func (c *Cluster) install(v *view) {
+	for i, m := range v.members {
+		if hs, ok := m.sh.(HomeSetter); ok {
 			hs.SetHome(i)
 		}
 	}
-	return &Cluster{shards: shards}
+	c.cur.Store(v)
 }
 
-// Close closes every shard, draining their queues.
+// AddShard joins sh to the ring under the stable ID id (its remote
+// address, conventionally) and publishes the new membership view. Keys
+// whose arcs the new member takes over re-route on their next submit;
+// everything else stays put (the consistent-hashing guarantee).
+func (c *Cluster) AddShard(id string, sh Shard) error {
+	if id == "" {
+		id = sh.Addr()
+	}
+	if id == "" {
+		return fmt.Errorf("engine: AddShard needs a non-empty id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.cur.Load()
+	if _, dup := v.byID[id]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateShard, id)
+	}
+	members := make([]member, len(v.members), len(v.members)+1)
+	copy(members, v.members)
+	members = append(members, member{id: id, sh: sh})
+	c.install(newView(members))
+	c.adds.Add(1)
+	return nil
+}
+
+// RemoveShard drops the member with ID id from the ring and publishes
+// the new view, returning the removed shard so the caller can drain or
+// keep probing it — the cluster does not Close it. Removing the last
+// member is refused (ErrLastShard): a cluster with no shards cannot
+// route anything.
+func (c *Cluster) RemoveShard(id string) (Shard, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.cur.Load()
+	i, ok := v.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownShard, id)
+	}
+	if len(v.members) == 1 {
+		return nil, ErrLastShard
+	}
+	members := make([]member, 0, len(v.members)-1)
+	members = append(members, v.members[:i]...)
+	members = append(members, v.members[i+1:]...)
+	removed := v.members[i].sh
+	c.install(newView(members))
+	c.removes.Add(1)
+	return removed, nil
+}
+
+// Close closes every shard in the current view, draining their queues.
+// Shards removed earlier are the remover's to close.
 func (c *Cluster) Close() {
-	for _, e := range c.shards {
-		e.Close()
+	for _, m := range c.cur.Load().members {
+		m.sh.Close()
 	}
 }
 
-// Shards reports the shard count.
-func (c *Cluster) Shards() int { return len(c.shards) }
+// Shards reports the current member count.
+func (c *Cluster) Shards() int { return len(c.cur.Load().members) }
 
-// Shard returns shard i (stats, tests, warm-start logging).
-func (c *Cluster) Shard(i int) Shard { return c.shards[i] }
+// Shard returns member i of the current view (stats, tests, warm-start
+// logging).
+func (c *Cluster) Shard(i int) Shard { return c.cur.Load().members[i].sh }
 
-// ShardOf reports the index of the shard owning spec: an FNV-1a hash of
-// the canonical spec key modulo the shard count.
-func (c *Cluster) ShardOf(spec Spec) int { return shardIndex(spec, len(c.shards)) }
+// MemberIDs returns the ring IDs of the current membership, in member
+// order.
+func (c *Cluster) MemberIDs() []string { return c.cur.Load().ring.Members() }
 
-func shardIndex(spec Spec, n int) int {
-	if n <= 1 {
-		return 0
-	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d|%d", spec.Design, spec.N, spec.M, spec.Seed)
-	return int(h.Sum64() % uint64(n))
+// HasMember reports whether id is in the current membership.
+func (c *Cluster) HasMember(id string) bool {
+	_, ok := c.cur.Load().byID[id]
+	return ok
 }
 
-// Owner returns the shard that owns s. Schemes from outside the cluster
-// (a standalone Engine, a zero wrapper) fall back to shard 0.
+// MembershipChanges reports the lifetime add/remove counts — the backing
+// of the pooled_ring_changes_total metric.
+func (c *Cluster) MembershipChanges() (adds, removes uint64) {
+	return c.adds.Load(), c.removes.Load()
+}
+
+// ShardOf reports the index (in the current view) of the shard owning
+// spec: a consistent-hash ring lookup of the canonical spec key, skipping
+// unhealthy members.
+func (c *Cluster) ShardOf(spec Spec) int {
+	v := c.cur.Load()
+	return v.lookup(spec.Key())
+}
+
+// OwnerID reports the ring ID of the member owning key — what the
+// front-end uses to decide which scheme-cache entries to migrate after a
+// membership change.
+func (c *Cluster) OwnerID(key string) string {
+	v := c.cur.Load()
+	i := v.lookup(key)
+	if i < 0 {
+		return ""
+	}
+	return v.members[i].id
+}
+
+// lookup resolves key to a member index, preferring the ring owner but
+// walking clockwise past unhealthy members (a dead-but-not-yet-evicted
+// worker must not black-hole its arcs). If no member is healthy the ring
+// owner is returned and the submit path's fail-fast error handling takes
+// over.
+func (v *view) lookup(key string) int {
+	i := v.ring.Lookup(key)
+	if i < 0 || v.members[i].sh.Healthy() {
+		return i
+	}
+	return v.ring.lookupFrom(key, func(m int) bool { return v.members[m].sh.Healthy() }, i)
+}
+
+// lookupFrom walks the ring clockwise from key's position until a member
+// passes ok, falling back to fallback when none does.
+func (r *Ring) lookupFrom(key string, ok func(member int) bool, fallback int) int {
+	if len(r.hashes) == 0 {
+		return fallback
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	tried := make(map[int]bool, len(r.ids))
+	for off := 0; off < len(r.hashes); off++ {
+		m := r.owner[(start+off)%len(r.hashes)]
+		if tried[m] {
+			continue
+		}
+		if ok(m) {
+			return m
+		}
+		tried[m] = true
+		if len(tried) == len(r.ids) {
+			break
+		}
+	}
+	return fallback
+}
+
+// Owner returns the shard that owns s right now: a ring lookup of the
+// scheme's routing key against the current membership view. Schemes from
+// outside the cluster (a standalone Engine, a zero wrapper) have no key
+// and fall back to their creation-time home index, clamped to the view.
 func (c *Cluster) Owner(s *Scheme) Shard {
+	v := c.cur.Load()
+	if key := s.RouteKey(); key != "" {
+		if i := v.lookup(key); i >= 0 {
+			return v.members[i].sh
+		}
+	}
 	i := s.home
-	if i < 0 || i >= len(c.shards) {
+	if i < 0 || i >= len(v.members) {
 		i = 0
 	}
-	return c.shards[i]
+	return v.members[i].sh
 }
 
 // Scheme routes the (design, n, m, seed) request to the owning shard's
@@ -183,21 +388,24 @@ func (c *Cluster) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, er
 	if des == nil {
 		des = pooling.RandomRegular{}
 	}
-	return c.shards[c.ShardOf(SpecFor(des, n, m, seed))].Scheme(des, n, m, seed)
+	v := c.cur.Load()
+	return v.members[v.lookup(SpecFor(des, n, m, seed).Key())].sh.Scheme(des, n, m, seed)
 }
 
-// SchemeFromGraph wraps a prebuilt design as an uncached scheme and
-// assigns it a shard round-robin, spreading ad-hoc uploads over the
-// fleet.
+// SchemeFromGraph wraps a prebuilt design as an uncached scheme placed
+// by the ring on the graph's content hash, so re-uploading the same
+// design lands on the same shard regardless of upload order or
+// intervening membership changes.
 func (c *Cluster) SchemeFromGraph(g *graph.Bipartite) *Scheme {
-	i := int((c.next.Add(1) - 1) % uint64(len(c.shards)))
-	return c.shards[i].SchemeFromGraph(g)
+	v := c.cur.Load()
+	return v.members[v.lookup(GraphKey(g))].sh.SchemeFromGraph(g)
 }
 
 // InstallScheme warm-starts the owning shard's cache with a prebuilt
 // design under spec (the -designs boot path of pooledd).
 func (c *Cluster) InstallScheme(spec Spec, g *graph.Bipartite) *Scheme {
-	return c.shards[c.ShardOf(spec)].InstallScheme(spec, g)
+	v := c.cur.Load()
+	return v.members[v.lookup(spec.Key())].sh.InstallScheme(spec, g)
 }
 
 // Submit enqueues the job on its scheme's owning shard.
@@ -219,7 +427,8 @@ func (c *Cluster) TrySubmit(ctx context.Context, job Job) (*Future, error) {
 
 // Offer is TrySubmit without the rejection accounting — the retry path
 // of a cooperative scheduler whose jobs were already admitted (the
-// campaign dispatcher).
+// campaign dispatcher). Ownership is re-resolved here on every call, so
+// a job requeued while its shard died re-routes to the key's new owner.
 func (c *Cluster) Offer(ctx context.Context, job Job) (*Future, error) {
 	if err := validateJob(job); err != nil {
 		return nil, err
@@ -297,23 +506,35 @@ type ShardStats struct {
 	Workers       int `json:"workers"`
 	CachedSchemes int `json:"cached_schemes"`
 	// Healthy is always true for local shards; remote shards report
-	// their probe state. Addr is empty for local shards.
+	// their probe state. Addr is empty for local shards. ID is the
+	// member's consistent-hash ring ID.
 	Healthy bool   `json:"healthy"`
 	Addr    string `json:"addr,omitempty"`
+	ID      string `json:"id,omitempty"`
 }
 
 // ClusterStats aggregates the fleet: Total sums every shard's counters
 // (histograms merge bucket-wise), Shards carries the per-shard
-// breakdown.
+// breakdown. Members lists the current ring membership; MembershipAdds
+// and MembershipRemoves count lifetime ring changes.
 type ClusterStats struct {
-	Total  Stats        `json:"total"`
-	Shards []ShardStats `json:"shards"`
+	Total             Stats        `json:"total"`
+	Shards            []ShardStats `json:"shards"`
+	Members           []string     `json:"members,omitempty"`
+	MembershipAdds    uint64       `json:"membership_adds"`
+	MembershipRemoves uint64       `json:"membership_removes"`
 }
 
 // Stats snapshots every shard and the fleet-wide aggregate.
 func (c *Cluster) Stats() ClusterStats {
-	cs := ClusterStats{Shards: make([]ShardStats, len(c.shards))}
-	for i, e := range c.shards {
+	v := c.cur.Load()
+	cs := ClusterStats{
+		Shards:  make([]ShardStats, len(v.members)),
+		Members: v.ring.Members(),
+	}
+	cs.MembershipAdds, cs.MembershipRemoves = c.adds.Load(), c.removes.Load()
+	for i, m := range v.members {
+		e := m.sh
 		st := e.Stats()
 		cs.Shards[i] = ShardStats{
 			Stats:         st,
@@ -324,6 +545,7 @@ func (c *Cluster) Stats() ClusterStats {
 			CachedSchemes: e.CachedSchemes(),
 			Healthy:       e.Healthy(),
 			Addr:          e.Addr(),
+			ID:            m.id,
 		}
 		cs.Total.add(st)
 	}

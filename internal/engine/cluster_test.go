@@ -138,19 +138,54 @@ func TestClusterSubmitRoutesToOwner(t *testing.T) {
 	}
 }
 
-func TestClusterSchemeFromGraphRoundRobin(t *testing.T) {
-	c := NewCluster(ClusterConfig{Shards: 2, Shard: Config{Workers: 1}})
+func TestClusterSchemeFromGraphContentHashPlacement(t *testing.T) {
+	c := NewCluster(ClusterConfig{Shards: 4, Shard: Config{Workers: 1}})
 	defer c.Close()
+
+	// Re-uploading the same design always lands on the same shard: the
+	// content hash, not the upload order, decides placement.
 	g, err := pooling.RandomRegular{}.Build(50, 20, pooling.BuildOptions{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seen := map[int]int{}
-	for i := 0; i < 4; i++ {
-		seen[c.SchemeFromGraph(g).Home()]++
+	first := c.SchemeFromGraph(g)
+	if first.RouteKey() != GraphKey(g) {
+		t.Fatalf("ad-hoc scheme route key %q, want content hash %q", first.RouteKey(), GraphKey(g))
 	}
-	if seen[0] != 2 || seen[1] != 2 {
-		t.Fatalf("round-robin placement = %v, want 2 per shard", seen)
+	for i := 0; i < 4; i++ {
+		if home := c.SchemeFromGraph(g).Home(); home != first.Home() {
+			t.Fatalf("re-upload %d landed on shard %d, first upload on %d", i, home, first.Home())
+		}
+	}
+
+	// An identical rebuild (same bytes, different *graph.Bipartite) hashes
+	// the same; a different design hashes differently.
+	g2, err := pooling.RandomRegular{}.Build(50, 20, pooling.BuildOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphKey(g2) != GraphKey(g) {
+		t.Fatal("identical graphs produced different content hashes")
+	}
+	other, err := pooling.RandomRegular{}.Build(50, 20, pooling.BuildOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphKey(other) == GraphKey(g) {
+		t.Fatal("distinct graphs produced the same content hash")
+	}
+
+	// Across many distinct uploads, placement spreads over the fleet.
+	seen := map[int]int{}
+	for seed := uint64(1); seed <= 32; seed++ {
+		gi, err := pooling.RandomRegular{}.Build(50, 20, pooling.BuildOptions{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c.SchemeFromGraph(gi).Home()]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 distinct uploads all landed on one shard: %v", seen)
 	}
 }
 

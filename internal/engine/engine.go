@@ -285,7 +285,7 @@ func (e *Engine) Addr() string { return "" }
 // engine creates, so cluster routing (Scheme.Home) finds its way back.
 // Must be called before the engine hands out schemes; NewClusterOf does
 // it at assembly.
-func (e *Engine) SetHome(i int) { e.cache.home = i }
+func (e *Engine) SetHome(i int) { e.cache.home.Store(int64(i)) }
 
 // Engine is the in-process Shard implementation.
 var _ Shard = (*Engine)(nil)
@@ -314,9 +314,11 @@ func (e *Engine) Scheme(des pooling.Design, n, m int, seed uint64) (*Scheme, err
 }
 
 // SchemeFromGraph wraps a prebuilt design (e.g. one uploaded as a labio
-// CSV file) as an engine scheme without caching it.
+// CSV file) as an engine scheme without caching it. The scheme's routing
+// key is the graph's content hash, so the same upload routes to the same
+// cluster shard every time.
 func (e *Engine) SchemeFromGraph(g *graph.Bipartite) *Scheme {
-	return &Scheme{G: g, home: e.cache.home}
+	return &Scheme{G: g, home: int(e.cache.home.Load()), key: GraphKey(g)}
 }
 
 // InstallScheme inserts a prebuilt design into the scheme cache under

@@ -35,6 +35,11 @@ func RegisterClusterMetrics(reg *metrics.Registry, c *Cluster) {
 		e.Counter("pooled_engine_jobs_consistent_total", "Completed jobs whose estimate reproduced y within the noise slack.", float64(t.Consistent))
 		e.Counter("pooled_engine_signals_measured_total", "Signals evaluated through MeasureBatch.", float64(t.SignalsMeasured))
 
+		e.Gauge("pooled_ring_members", "Members currently placed on the consistent-hash ring.", float64(len(cs.Members)))
+		const ringHelp = "Ring membership changes since boot, by operation."
+		e.Counter("pooled_ring_changes_total", ringHelp, float64(cs.MembershipAdds), "op", "add")
+		e.Counter("pooled_ring_changes_total", ringHelp, float64(cs.MembershipRemoves), "op", "remove")
+
 		exportLatencyMap(e, "pooled_engine_queue_wait_seconds", "Time between enqueue and a worker picking the job up, by decoder.", "decoder", t.QueueLatency)
 		exportLatencyMap(e, "pooled_engine_decode_seconds", "Time inside the decoder, by decoder.", "decoder", t.DecodeLatency)
 		exportLatencyMap(e, "pooled_engine_settle_seconds", "Time completing the future and running OnDone, by decoder.", "decoder", t.SettleLatency)

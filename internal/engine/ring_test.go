@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real spec keys so the balance measured here is the
+		// balance production routing sees.
+		keys[i] = fmt.Sprintf("random-regular{Gamma:0}|%d|%d|%d", 1000+i, 500+i, i)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = "10.0.0." + strconv.Itoa(i+1) + ":19300"
+	}
+	return ids
+}
+
+// TestRingBalance pins the load-spread property: over 10k spec keys and
+// 128 vnodes per member, no member owns more than 2x the lightest
+// member's share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(10000)
+	for _, members := range []int{2, 4, 8} {
+		ids := ringMembers(members)
+		r := NewRing(ids, DefaultVnodes)
+		load := make([]int, members)
+		for _, k := range keys {
+			load[r.Lookup(k)]++
+		}
+		min, max := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if min == 0 {
+			t.Fatalf("%d members: a member owns zero of 10k keys: %v", members, load)
+		}
+		if ratio := float64(max) / float64(min); ratio > 2.0 {
+			t.Fatalf("%d members: max/min load ratio %.2f > 2.0 (loads %v)", members, ratio, load)
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing guarantee: a
+// single join or leave only moves keys to/from the changed member, and
+// only about K/N of them.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(10000)
+	ids := ringMembers(5)
+	before := NewRing(ids, DefaultVnodes)
+
+	// Join: every key that changes owner must move TO the new member.
+	joined := NewRing(append(append([]string(nil), ids...), "10.0.0.99:19300"), DefaultVnodes)
+	moved := 0
+	for _, k := range keys {
+		oldID, newID := before.LookupID(k), joined.LookupID(k)
+		if oldID == newID {
+			continue
+		}
+		moved++
+		if newID != "10.0.0.99:19300" {
+			t.Fatalf("join: key %q moved %s -> %s, not to the new member", k, oldID, newID)
+		}
+	}
+	// Expected share is 1/6 ≈ 1667 keys; allow 2x slack for vnode
+	// placement variance, and require the new member got real load.
+	if moved == 0 || moved > 2*len(keys)/6 {
+		t.Fatalf("join moved %d of %d keys, want ~%d (at most %d)", moved, len(keys), len(keys)/6, 2*len(keys)/6)
+	}
+
+	// Leave: every key that changes owner must move FROM the removed
+	// member, and exactly the removed member's keys move.
+	removed := ids[2]
+	left := NewRing(append(append([]string(nil), ids[:2]...), ids[3:]...), DefaultVnodes)
+	movedOut := 0
+	for _, k := range keys {
+		oldID, newID := before.LookupID(k), left.LookupID(k)
+		if oldID == removed {
+			movedOut++
+			if newID == removed {
+				t.Fatalf("leave: key %q still owned by removed member", k)
+			}
+			continue
+		}
+		if oldID != newID {
+			t.Fatalf("leave: key %q moved %s -> %s though neither is the removed member", k, oldID, newID)
+		}
+	}
+	if movedOut == 0 || movedOut > 2*len(keys)/5 {
+		t.Fatalf("leave moved %d of %d keys, want ~%d (at most %d)", movedOut, len(keys), len(keys)/5, 2*len(keys)/5)
+	}
+}
+
+// TestRingDeterminism: the ring layout is a pure function of the
+// membership set — join order must not matter.
+func TestRingDeterminism(t *testing.T) {
+	ids := ringMembers(4)
+	r1 := NewRing(ids, DefaultVnodes)
+	rev := []string{ids[3], ids[1], ids[0], ids[2]}
+	r2 := NewRing(rev, DefaultVnodes)
+	for _, k := range ringKeys(1000) {
+		if r1.LookupID(k) != r2.LookupID(k) {
+			t.Fatalf("key %q owner depends on membership order: %s vs %s", k, r1.LookupID(k), r2.LookupID(k))
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, DefaultVnodes)
+	if got := empty.Lookup("anything"); got != -1 {
+		t.Fatalf("empty ring Lookup = %d, want -1", got)
+	}
+	if got := empty.LookupID("anything"); got != "" {
+		t.Fatalf("empty ring LookupID = %q, want empty", got)
+	}
+	single := NewRing([]string{"only"}, DefaultVnodes)
+	for _, k := range ringKeys(100) {
+		if single.LookupID(k) != "only" {
+			t.Fatal("single-member ring routed a key elsewhere")
+		}
+	}
+}

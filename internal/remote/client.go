@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -29,10 +28,12 @@ import (
 )
 
 // ErrWorkerUnavailable marks jobs that failed because their worker was
-// unreachable (or kept failing past the retry budget). Campaign job
-// errors wrap it, so a dead worker's jobs are distinguishable from
-// decode failures.
-var ErrWorkerUnavailable = errors.New("remote: worker unavailable")
+// unreachable (or kept failing past the retry budget). It wraps
+// engine.ErrShardUnavailable, so the campaign dispatcher can recognize
+// the orphaned job and re-dispatch it to a surviving shard without
+// importing this package; callers matching ErrWorkerUnavailable itself
+// keep working unchanged.
+var ErrWorkerUnavailable = fmt.Errorf("remote: worker unavailable: %w", engine.ErrShardUnavailable)
 
 // saturationWindow is how long a worker 429 keeps the client-side
 // Saturated signal raised, so admission checks fail fast instead of
@@ -78,6 +79,16 @@ type Options struct {
 	MaxSchemes int
 	// BuildParallelism bounds goroutines per local design build.
 	BuildParallelism int
+	// EvictAfter is how many consecutive probe failures fire OnEvict.
+	// 0 means 3; negative disables eviction (probes still flip Healthy).
+	EvictAfter int
+	// OnEvict fires (from the probe goroutine) when EvictAfter
+	// consecutive probes have failed — the frontend's hook to pull this
+	// worker out of the ring. The client keeps probing afterwards.
+	OnEvict func()
+	// OnRejoin fires (from the probe goroutine) when a probe succeeds
+	// after an eviction — the hook to re-admit the worker to the ring.
+	OnRejoin func()
 	// Metrics, when set, receives the client's transport metrics:
 	// per-stage request timers (serialize/network/worker-queue/
 	// worker-decode), retries, mirrored 429s, and probe-state
@@ -114,6 +125,16 @@ func (o Options) probeInterval() time.Duration {
 		return 2 * time.Second
 	}
 	return o.ProbeInterval
+}
+
+func (o Options) evictAfter() int {
+	if o.EvictAfter == 0 {
+		return 3
+	}
+	if o.EvictAfter < 0 {
+		return 0
+	}
+	return o.EvictAfter
 }
 
 func (o Options) retries() int {
@@ -205,7 +226,10 @@ type Shard struct {
 	opts Options
 	base string
 	hc   *http.Client
-	home int
+	// home is the cluster index stamped on this client's schemes.
+	// Atomic: membership changes re-stamp it while scheme builds read
+	// it concurrently.
+	home atomic.Int64
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -312,8 +336,8 @@ func New(opts Options) *Shard {
 }
 
 // SetHome assigns the cluster index stamped on this client's schemes
-// (NewClusterOf calls it at assembly).
-func (s *Shard) SetHome(i int) { s.home = i }
+// (cluster assembly and every membership change re-stamp it).
+func (s *Shard) SetHome(i int) { s.home.Store(int64(i)) }
 
 // Addr reports the worker address this shard fronts.
 func (s *Shard) Addr() string { return s.opts.Addr }
@@ -394,7 +418,7 @@ func (s *Shard) Scheme(des pooling.Design, n, m int, seed uint64) (*engine.Schem
 			delete(s.bySpec, spec)
 		}
 	} else {
-		st.scheme = engine.NewSchemeAt(spec, g, s.home)
+		st.scheme = engine.NewSchemeAt(spec, g, int(s.home.Load()))
 		s.byScheme[st.scheme] = st
 		s.order = append(s.order, st)
 		s.evictLocked()
@@ -405,10 +429,16 @@ func (s *Shard) Scheme(des pooling.Design, n, m int, seed uint64) (*engine.Schem
 }
 
 // SchemeFromGraph wraps an ad-hoc design; the graph ships to the worker
-// before its first decode under a client-unique id.
+// before its first decode under its content-hash id (the scheme's ring
+// routing key), so re-uploads and re-ensures after failover are
+// idempotent on the worker's registry.
 func (s *Shard) SchemeFromGraph(g *graph.Bipartite) *engine.Scheme {
-	sc := engine.NewSchemeAt(engine.Spec{}, g, s.home)
-	st := &schemeState{id: s.adhocID(), ready: closedChan(), scheme: sc}
+	sc := engine.NewSchemeAt(engine.Spec{}, g, int(s.home.Load()))
+	id := sc.RouteKey()
+	if id == "" {
+		id = s.adhocID()
+	}
+	st := &schemeState{id: id, ready: closedChan(), scheme: sc}
 	s.smu.Lock()
 	s.byScheme[sc] = st
 	s.order = append(s.order, st)
@@ -420,7 +450,7 @@ func (s *Shard) SchemeFromGraph(g *graph.Bipartite) *engine.Scheme {
 // InstallScheme registers a prebuilt design under spec (warm start);
 // the worker receives it lazily before the first decode.
 func (s *Shard) InstallScheme(spec engine.Spec, g *graph.Bipartite) *engine.Scheme {
-	sc := engine.NewSchemeAt(spec, g, s.home)
+	sc := engine.NewSchemeAt(spec, g, int(s.home.Load()))
 	st := &schemeState{spec: spec, id: specID(spec), ready: closedChan(), scheme: sc}
 	s.smu.Lock()
 	s.bySpec[spec] = st
@@ -463,9 +493,11 @@ func (s *Shard) stateFor(sc *engine.Scheme) *schemeState {
 	if st, ok := s.byScheme[sc]; ok {
 		return st
 	}
-	id := s.adhocID()
+	id := sc.RouteKey() // spec key or ad-hoc content hash
 	if sc.Spec != (engine.Spec{}) {
 		id = specID(sc.Spec)
+	} else if id == "" {
+		id = s.adhocID()
 	}
 	st := &schemeState{spec: sc.Spec, id: id, ready: closedChan(), scheme: sc}
 	s.byScheme[sc] = st
@@ -1188,18 +1220,43 @@ func (s *Shard) probeLoop() {
 	interval := s.opts.probeInterval()
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	s.probe()
+	// Eviction state lives entirely in this goroutine: OnEvict/OnRejoin
+	// fire from here and nowhere else, so the frontend's hooks need no
+	// synchronization of their own.
+	failures, evicted := 0, false
+	step := func() {
+		if s.probe() {
+			failures = 0
+			if evicted {
+				evicted = false
+				s.log.Info("worker rejoining after eviction")
+				if s.opts.OnRejoin != nil {
+					s.opts.OnRejoin()
+				}
+			}
+			return
+		}
+		failures++
+		if n := s.opts.evictAfter(); !evicted && n > 0 && failures >= n {
+			evicted = true
+			s.log.Warn("worker evicted after consecutive probe failures", "failures", failures)
+			if s.opts.OnEvict != nil {
+				s.opts.OnEvict()
+			}
+		}
+	}
+	step()
 	for {
 		select {
 		case <-tick.C:
-			s.probe()
+			step()
 		case <-s.stop:
 			return
 		}
 	}
 }
 
-func (s *Shard) probe() {
+func (s *Shard) probe() bool {
 	// A fixed timeout rather than the (possibly very short) probe
 	// interval: probes run sequentially in the loop, so a slow one just
 	// delays the next tick instead of overlapping it — and a tight
@@ -1209,21 +1266,22 @@ func (s *Shard) probe() {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+healthPath, nil)
 	if err != nil {
 		s.setHealthy(false, "probe request: "+err.Error())
-		return
+		return false
 	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
 		s.setHealthy(false, "probe: "+err.Error())
-		return
+		return false
 	}
 	defer drainClose(resp.Body)
 	var h healthResponse
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&h) != nil || !h.OK {
 		s.setHealthy(false, fmt.Sprintf("probe status %d", resp.StatusCode))
-		return
+		return false
 	}
 	s.gauges.Store(&h)
 	s.setHealthy(true, "probe ok")
+	return true
 }
 
 // drainClose discards the rest of a response body and closes it, so the

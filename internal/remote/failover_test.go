@@ -5,7 +5,6 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -18,11 +17,13 @@ import (
 	"pooleddata/internal/rng"
 )
 
-// TestWorkerDeathFailsJobsAndCampaignTerminates is the failover
-// contract: killing a worker mid-campaign settles its remaining jobs
-// with a distinguishable error and the campaign reaches a terminal
-// state — no wedged long-pollers, no stuck dispatcher.
-func TestWorkerDeathFailsJobsAndCampaignTerminates(t *testing.T) {
+// TestWorkerDeathZeroFailedJobs is the elastic-fleet failover
+// contract: killing a worker mid-campaign loses no jobs. The campaign
+// dispatcher intercepts worker-unavailable settlements, re-dispatches
+// the orphans through the ring (which skips the unhealthy member), and
+// every job completes on the survivor with the bit-identical support a
+// healthy fleet would have produced.
+func TestWorkerDeathZeroFailedJobs(t *testing.T) {
 	const n, m, k, batch = 300, 240, 5, 48
 	_, ts0 := newWorker(t, 1, 2, 64, ServerOptions{})
 	_, ts1 := newWorker(t, 1, 2, 64, ServerOptions{})
@@ -38,14 +39,35 @@ func TestWorkerDeathFailsJobsAndCampaignTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Home() != 1 {
-		t.Fatalf("scheme home = %d, want 1", s.Home())
+	if got := cluster.ShardOf(engine.SpecFor(pooling.RandomRegular{}, n, m, seed)); got != 1 {
+		t.Fatalf("scheme owner = %d, want 1", got)
 	}
 	signals := make([]*bitvec.Vector, batch)
 	for b := range signals {
 		signals[b] = bitvec.Random(n, k, rng.NewRandSeeded(seed*100+uint64(b)))
 	}
 	ys := cluster.MeasureBatch(s, signals, noise.Model{})
+
+	// Reference run: the same batch decoded on an isolated in-process
+	// cluster. Decodes are deterministic, so the failover run must
+	// reproduce these supports bit for bit.
+	ref := engine.NewCluster(engine.ClusterConfig{
+		Shards: 1, Shard: engine.Config{CacheCapacity: 4, Workers: 2},
+	})
+	t.Cleanup(ref.Close)
+	rs, err := ref.Scheme(nil, n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]int, batch)
+	for i, y := range ys {
+		res, err := ref.Decode(context.Background(), engine.Job{Scheme: rs, Y: y, K: k})
+		if err != nil {
+			t.Fatalf("reference decode %d: %v", i, err)
+		}
+		want[i] = res.Support
+	}
+
 	cp, err := store.Create(campaign.Request{Scheme: s, Batch: ys, K: k})
 	if err != nil {
 		t.Fatal(err)
@@ -71,24 +93,19 @@ func TestWorkerDeathFailsJobsAndCampaignTerminates(t *testing.T) {
 			t.Fatalf("campaign wedged after worker death: %+v", cp.Progress())
 		}
 	}
-	if p.Completed == 0 {
-		t.Fatal("expected some jobs to complete before the kill")
+	if p.Failed != 0 || p.Canceled != 0 {
+		t.Fatalf("worker death lost jobs: completed=%d failed=%d canceled=%d", p.Completed, p.Failed, p.Canceled)
 	}
-	if p.Completed == p.Total {
-		t.Skip("campaign finished before the worker died; nothing to assert")
+	if p.Completed != p.Total {
+		t.Fatalf("completed = %d, want %d", p.Completed, p.Total)
 	}
-	failed := 0
 	for _, jr := range p.Results {
-		if jr.Error == "" {
-			continue
+		if jr.Error != "" {
+			t.Fatalf("job %d settled with error %q despite re-dispatch", jr.Index, jr.Error)
 		}
-		failed++
-		if !strings.Contains(jr.Error, "worker") && !strings.Contains(jr.Error, "context") {
-			t.Fatalf("job error not distinguishable as a worker failure: %q", jr.Error)
+		if !equalInts(jr.Support, want[jr.Index]) {
+			t.Fatalf("job %d support diverged after failover: got %v, want %v", jr.Index, jr.Support, want[jr.Index])
 		}
-	}
-	if failed == 0 {
-		t.Fatalf("no per-job errors despite worker death: %+v", p)
 	}
 	eventually(t, 5*time.Second, func() bool { return !sh1.Healthy() },
 		"dead worker never marked unhealthy")
@@ -96,19 +113,32 @@ func TestWorkerDeathFailsJobsAndCampaignTerminates(t *testing.T) {
 		t.Fatal("surviving worker must stay healthy")
 	}
 
-	// The cluster keeps serving: a decode on the surviving shard works,
-	// and new submissions to the dead shard fail fast instead of hanging.
-	s0, err := cluster.Scheme(nil, n, m, seedOwnedBy(cluster, n, m, 0))
+	// The cluster keeps serving, and ownership of the dead member's arcs
+	// has moved: an offer keyed to the dead shard's scheme reroutes to
+	// the survivor instead of failing.
+	fut, err := cluster.Offer(context.Background(), engine.Job{Scheme: s, Y: ys[0], K: k})
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("offer after failover: %v", err)
 	}
-	y0 := cluster.MeasureBatch(s0, signals[:1], noise.Model{})[0]
-	if _, err := cluster.Decode(context.Background(), engine.Job{Scheme: s0, Y: y0, K: k}); err != nil {
-		t.Fatalf("surviving shard decode: %v", err)
+	res, err := fut.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("rerouted decode: %v", err)
 	}
-	if _, err := cluster.Offer(context.Background(), engine.Job{Scheme: s, Y: ys[0], K: k}); !errors.Is(err, ErrWorkerUnavailable) {
-		t.Fatalf("offer to dead shard err = %v, want ErrWorkerUnavailable", err)
+	if !equalInts(res.Support, want[0]) {
+		t.Fatalf("rerouted decode diverged: got %v, want %v", res.Support, want[0])
 	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // seedOwnedBy finds a seed whose default-design spec hashes to the
