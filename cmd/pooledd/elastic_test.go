@@ -287,6 +287,71 @@ func TestElasticEvictionAndRejoin(t *testing.T) {
 	}
 }
 
+// TestDrainRacesEviction regression-tests the drain-vs-eviction
+// deadlock: an administrative DELETE racing the probe-threshold
+// transition of a dying worker must not wedge the membership lock.
+// (Remove used to close the client — which waits out the probe
+// goroutine — while holding f.mu, the same lock that goroutine's
+// eviction hook was queued on.)
+//
+// The choreography that used to wedge: stillborn workers march toward
+// eviction a few ms apart; the first eviction fires and lingers in the
+// (deliberately slow) change hook; the drains arrive while the later
+// workers' eviction hooks are still queued on f.mu behind it. A drain
+// that then wins the lock before its own worker's hook would close the
+// client under f.mu and wait forever for the hook-blocked probe
+// goroutine. Each round shifts the drain instant to sweep the window.
+func TestDrainRacesEviction(t *testing.T) {
+	_, w0 := startWorker(t)
+	_, _, f := startElasticFrontend(t, w0)
+	// Slow change hook: stretches each eviction so the drains below
+	// reliably overlap the queued probe-threshold transitions.
+	f.onChange = func(string) { time.Sleep(25 * time.Millisecond) }
+
+	for round := 0; round < 3; round++ {
+		// Eviction lands EvictAfter(3) probes after Add — ~40ms at the
+		// 20ms test probe interval — so staggering the Adds staggers the
+		// hooks across the drain burst.
+		start := time.Now()
+		var addrs []string
+		for i := 0; i < 5; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ln.Addr().String()
+			ln.Close()
+			if err := f.Add(addr); err != nil {
+				t.Fatalf("add %s: %v", addr, err)
+			}
+			addrs = append(addrs, addr)
+			time.Sleep(4 * time.Millisecond)
+		}
+		// Fire every drain concurrently just after the first eviction has
+		// claimed the lock, while the rest are still inbound.
+		if d := time.Duration(38+4*round)*time.Millisecond - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for _, addr := range addrs {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				if err := f.Remove(addr); err != nil {
+					t.Errorf("remove %s: %v", addr, err)
+				}
+			}(addr)
+		}
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("drain deadlocked against probe-driven eviction")
+		}
+	}
+}
+
 // TestElasticChurnHammer races campaigns against continuous membership
 // churn and stats polling — the -race exercise of the lock-free view
 // swap, probe-driven hooks, and re-dispatch accounting.

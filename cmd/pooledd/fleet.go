@@ -32,7 +32,10 @@ type fleet struct {
 	cfg     fleetConfig
 
 	// onChange runs after every ring mutation (add, remove, evict,
-	// rejoin) — the server hangs scheme migration off it.
+	// rejoin) — the server hangs scheme migration off it. It is always
+	// invoked outside f.mu: migration rescans the whole scheme registry,
+	// and holding the membership lock for that long would stall the
+	// workers API and every probe hook behind one migration pass.
 	onChange func(reason string)
 
 	mu      sync.Mutex
@@ -88,15 +91,22 @@ func (f *fleet) newShard(addr string) *remote.Shard {
 
 // Close stops every tracked client and then the cluster. Evicted
 // workers are closed here explicitly — the cluster no longer owns them.
+// Clients are closed outside f.mu: Shard.Close waits for the probe
+// goroutine, which may itself be blocked in an evict/rejoin hook that
+// needs f.mu.
 func (f *fleet) Close() {
 	f.mu.Lock()
+	var orphans []*remote.Shard
 	for addr, sh := range f.workers {
 		if !f.cluster.HasMember(addr) {
-			sh.Close()
+			orphans = append(orphans, sh)
 		}
 	}
 	f.workers = map[string]*remote.Shard{}
 	f.mu.Unlock()
+	for _, sh := range orphans {
+		sh.Close()
+	}
 	f.cluster.Close()
 }
 
@@ -110,16 +120,18 @@ func (f *fleet) changed(reason string) {
 // and triggers scheme migration. Fails on a duplicate address.
 func (f *fleet) Add(addr string) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if _, dup := f.workers[addr]; dup {
+		f.mu.Unlock()
 		return fmt.Errorf("worker %s already registered", addr)
 	}
 	sh := f.newShard(addr)
 	if err := f.cluster.AddShard(addr, sh); err != nil {
+		f.mu.Unlock()
 		sh.Close()
 		return err
 	}
 	f.workers[addr] = sh
+	f.mu.Unlock()
 	f.cfg.log.Info("worker joined", "addr", addr, "members", f.cluster.Shards())
 	f.changed("add")
 	return nil
@@ -127,23 +139,34 @@ func (f *fleet) Add(addr string) error {
 
 // Remove drains a worker administratively: out of the ring, probe
 // stopped, client closed. Refuses to drain the last ring member.
+//
+// The client is closed after releasing f.mu: Close waits out the probe
+// goroutine, and that goroutine may be blocked in an evict/rejoin hook
+// waiting for f.mu — closing under the lock would wedge both sides
+// whenever a drain races a probe-threshold transition (the common case:
+// draining a worker whose probes are already failing). Once the worker
+// is out of the map, a concurrently queued hook no-ops on its tracked
+// check, so the late Close is safe.
 func (f *fleet) Remove(addr string) error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	sh, ok := f.workers[addr]
 	if !ok {
+		f.mu.Unlock()
 		return engine.ErrUnknownShard
 	}
 	if f.cluster.HasMember(addr) {
 		if _, err := f.cluster.RemoveShard(addr); err != nil {
+			f.mu.Unlock()
 			return err
 		}
 	} else if len(f.workers) == 1 {
 		// Evicted but still the only worker we know: draining it would
 		// leave nothing to rejoin.
+		f.mu.Unlock()
 		return engine.ErrLastShard
 	}
 	delete(f.workers, addr)
+	f.mu.Unlock()
 	sh.Close()
 	f.cfg.log.Info("worker drained", "addr", addr, "members", f.cluster.Shards())
 	f.changed("remove")
@@ -154,16 +177,18 @@ func (f *fleet) Remove(addr string) error {
 // probing; rejoin re-admits it. Fires from the probe goroutine.
 func (f *fleet) evict(addr string) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if _, tracked := f.workers[addr]; !tracked || !f.cluster.HasMember(addr) {
+		f.mu.Unlock()
 		return
 	}
 	if _, err := f.cluster.RemoveShard(addr); err != nil {
 		// Last ring member: leave it in place — an empty ring serves
 		// nothing, and the health-skip lookup already degrades sanely.
+		f.mu.Unlock()
 		f.cfg.log.Warn("eviction skipped", "addr", addr, "err", err)
 		return
 	}
+	f.mu.Unlock()
 	f.cfg.log.Warn("worker evicted after failed probes", "addr", addr, "members", f.cluster.Shards())
 	f.changed("evict")
 }
@@ -172,15 +197,17 @@ func (f *fleet) evict(addr string) {
 // the probe goroutine; a concurrent administrative drain wins.
 func (f *fleet) rejoin(addr string) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	sh, tracked := f.workers[addr]
 	if !tracked || f.cluster.HasMember(addr) {
+		f.mu.Unlock()
 		return
 	}
 	if err := f.cluster.AddShard(addr, sh); err != nil {
+		f.mu.Unlock()
 		f.cfg.log.Warn("rejoin failed", "addr", addr, "err", err)
 		return
 	}
+	f.mu.Unlock()
 	f.cfg.log.Info("worker rejoined", "addr", addr, "members", f.cluster.Shards())
 	f.changed("rejoin")
 }

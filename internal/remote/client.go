@@ -378,6 +378,11 @@ func (s *Shard) Close() {
 	close(s.stop)
 	s.wg.Wait()
 	<-s.probeDone
+	// Nothing probes this worker anymore, so its healthy gauge would
+	// otherwise export the last observed value forever — misleading for a
+	// drained worker. Zero it after the probe and senders have made their
+	// final writes.
+	s.mHealthy.Set(0)
 	s.hc.CloseIdleConnections()
 }
 
