@@ -53,7 +53,7 @@ bench-kernels:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/benchjson ./cmd/benchjson; \
 	{ $(GO) test -short -run '^$$' -benchmem \
-	    -bench 'BenchmarkNoisyBatchDecode|BenchmarkMNDecode|BenchmarkQueryExecute|BenchmarkOneDesignManySignals' \
+	    -bench 'BenchmarkNoisyBatchDecode|BenchmarkMNDecode|BenchmarkQueryExecute|BenchmarkOneDesignManySignals|BenchmarkTraceOverhead' \
 	    -benchtime 1x . ; \
 	  $(GO) test -short -run '^$$' -benchmem \
 	    -bench 'BenchmarkRemoteShardDecode' -benchtime 20x ./internal/remote ; } \
@@ -77,7 +77,9 @@ fuzz-seeds:
 # Catches malformed escaping, non-cumulative buckets, and duplicate
 # series before a real Prometheus ever sees them. The fleet is churned
 # through the membership API first, so the ring/membership series are
-# linted with real values, not just their zero forms.
+# linted with real values, not just their zero forms. Tracing is on, and
+# the decode's span tree is fetched back through /v1/traces/{id} to
+# assert it covers both tiers of the federation hop.
 metrics-lint:
 	@set -e; \
 	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
@@ -85,7 +87,7 @@ metrics-lint:
 	$(GO) build -o $$tmp/promcheck ./cmd/promcheck; \
 	$$tmp/pooledd -worker -addr 127.0.0.1:19390 -shards 2 & wpid=$$!; \
 	$$tmp/pooledd -worker -addr 127.0.0.1:19391 -shards 2 & w2pid=$$!; \
-	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 -wal-dir $$tmp/wal & fpid=$$!; \
+	$$tmp/pooledd -addr 127.0.0.1:19392 -workers 127.0.0.1:19390 -wal-dir $$tmp/wal -trace-sample 1 & fpid=$$!; \
 	trap 'kill $$wpid $$w2pid $$fpid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	for i in $$(seq 1 50); do \
 	  curl -sf http://127.0.0.1:19390/metrics >/dev/null && \
@@ -93,19 +95,35 @@ metrics-lint:
 	  curl -sf http://127.0.0.1:19392/metrics >/dev/null && break; \
 	  sleep 0.2; \
 	done; \
+	for i in $$(seq 1 50); do \
+	  curl -sf http://127.0.0.1:19392/metrics | grep -q '^pooled_shard_healthy{.*} 1' && break; \
+	  sleep 0.2; \
+	done; \
 	curl -sf -X POST http://127.0.0.1:19392/v1/schemes \
 	  -d '{"design":"random-regular","n":400,"m":200,"seed":1}' >/dev/null; \
 	curl -sf -X POST http://127.0.0.1:19392/v1/decode \
-	  -d "{\"scheme\":\"s1\",\"k\":0,\"counts\":[$$(printf '0,%.0s' $$(seq 1 199))0]}" >/dev/null; \
+	  -d "{\"scheme\":\"s1\",\"k\":0,\"counts\":[$$(printf '0,%.0s' $$(seq 1 199))0]}" >$$tmp/decode.json; \
+	tid=$$(sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p' $$tmp/decode.json); \
+	test -n "$$tid" || { echo "metrics-lint: decode response carried no trace_id" >&2; exit 1; }; \
+	curl -sf "http://127.0.0.1:19392/v1/traces/$$tid" >$$tmp/trace.json; \
+	grep -q '"tier":"frontend"' $$tmp/trace.json || \
+	  { echo "metrics-lint: trace $$tid has no frontend-tier span" >&2; exit 1; }; \
+	grep -q '"tier":"worker"' $$tmp/trace.json || \
+	  { echo "metrics-lint: trace $$tid has no worker-tier span" >&2; exit 1; }; \
 	curl -sf -X POST http://127.0.0.1:19392/v1/workers \
 	  -d '{"addr":"127.0.0.1:19391"}' >/dev/null; \
 	curl -sf -X DELETE http://127.0.0.1:19392/v1/workers/127.0.0.1:19391 >/dev/null; \
 	curl -sf http://127.0.0.1:19390/metrics | $$tmp/promcheck; \
 	curl -sf http://127.0.0.1:19392/metrics | $$tmp/promcheck; \
-	curl -sf http://127.0.0.1:19392/metrics >$$tmp/front.prom; \
+	for i in $$(seq 1 20); do \
+	  curl -sf http://127.0.0.1:19392/metrics >$$tmp/front.prom; \
+	  grep -q '^pooled_scheme_load_jobs_total' $$tmp/front.prom && break; \
+	  sleep 0.3; \
+	done; \
 	for series in pooled_wal_appends_total pooled_ring_members \
 	  pooled_ring_changes_total pooled_jobs_redispatched_total \
-	  pooled_scheme_migrations_total; do \
+	  pooled_scheme_migrations_total pooled_trace_offered_total \
+	  pooled_trace_retained_total pooled_scheme_load_jobs_total; do \
 	  grep -q "^$$series" $$tmp/front.prom || \
 	    { echo "metrics-lint: $$series missing from frontend exposition" >&2; exit 1; }; \
 	done; \

@@ -631,3 +631,62 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTraceOverhead measures what span-level job tracing costs on
+// the hot decode path: the same noisy batched decode as
+// BenchmarkNoisyBatchDecode/gaussian, once with tracing disabled (a nil
+// store — every span call is a single pointer test) and once with the
+// tail sampler retaining everything (SampleRate 1, the worst case: a
+// builder, three spans, and a store offer per job). The acceptance bar
+// is the disabled run within 2% of an untraced engine — which it is by
+// construction, since disabled tracing takes the same nil-builder path —
+// and full retention staying within a few percent, because spans are
+// appended under one short per-job mutex that the decode itself dwarfs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const (
+		n     = 10000
+		k     = 16
+		m     = 600
+		batch = 32
+	)
+	signals := make([][]bool, batch)
+	r := rng.NewRandSeeded(99)
+	for s := range signals {
+		sig := make([]bool, n)
+		for _, i := range r.SampleK(n, k) {
+			sig[i] = true
+		}
+		signals[s] = sig
+	}
+	nm := NoiseModel{Kind: "gaussian", Sigma: 0.5, Seed: 7}
+	run := func(b *testing.B, opts EngineOptions, check func(*Engine)) {
+		eng := NewEngine(opts)
+		defer eng.Close()
+		scheme, err := eng.Scheme(n, m, Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ys, err := eng.MeasureBatchNoisy(scheme, signals, nm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.DecodeBatchNoisy(context.Background(), scheme, ys, k, nm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if check != nil {
+			check(eng)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, EngineOptions{}, nil) })
+	b.Run("sample-1.0", func(b *testing.B) {
+		run(b, EngineOptions{TraceSample: 1, TraceStore: 256}, func(eng *Engine) {
+			if len(eng.RecentTraces(1)) == 0 {
+				b.Fatal("trace store collected nothing — the benchmark measured an untraced engine")
+			}
+		})
+	})
+}

@@ -106,6 +106,7 @@ import (
 	"pooleddata/internal/remote"
 	"pooleddata/internal/wal"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 func main() {
@@ -130,6 +131,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
 	walDir := flag.String("wal-dir", "", "campaign write-ahead-log directory: campaigns journal here and replay after a crash or restart (empty: campaigns are memory-only; frontend mode only)")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (per record), off, or a duration like 250ms (batched interval sync)")
+	traceSample := flag.Float64("trace-sample", 0, "baseline retention rate for job traces in [0,1]; errored and tail-slow jobs are always retained once tracing is on (frontend mode only)")
+	traceStore := flag.Int("trace-store", 0, "retained-trace ring capacity; setting either -trace-sample or -trace-store enables tracing (0 with tracing on: 1024)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -153,6 +156,15 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	// The trace store exists before the cluster so local shards can offer
+	// traces for bare /v1/decode jobs; campaign jobs and handler-owned
+	// sync jobs bring their own builders and only flow through Offer.
+	var traces *trace.Store
+	if *traceSample > 0 || *traceStore > 0 {
+		traces = trace.NewStore(trace.Config{Capacity: *traceStore, SampleRate: *traceSample})
+		attachSlowTraceLog(traces, logger)
+		logger.Info("job tracing enabled", "sample", *traceSample, "capacity", *traceStore)
+	}
 	var cluster *engine.Cluster
 	var workers *fleet
 	if *workerAddrs != "" {
@@ -173,6 +185,7 @@ func main() {
 				CacheCapacity: *cache,
 				Workers:       *shardWorkers, // 0: NewCluster splits GOMAXPROCS across shards
 				QueueDepth:    *queue,
+				Traces:        traces,
 			},
 		})
 	}
@@ -202,9 +215,11 @@ func main() {
 		TenantMaxQueued: *tenantMaxQueued,
 		TenantWeights:   weights,
 		WAL:             journal,
+		Traces:          traces,
 	})
 	srv.maxSchemes = *maxSchemes
 	srv.maxBody = *maxBody
+	srv.traces = traces
 	srv.instrument(reg, logger)
 	if workers != nil {
 		srv.fleet = workers

@@ -9,11 +9,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"pooleddata/internal/campaign"
 	"pooleddata/internal/engine"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 // Per-request trace propagation: every request entering the public API
@@ -127,4 +130,62 @@ func (s *server) instrument(reg *metrics.Registry, log *slog.Logger) {
 		e.Gauge("pooled_uptime_seconds", "Seconds since process start.", time.Since(s.start).Seconds())
 		e.Counter("pooled_scheme_migrations_total", "Registry schemes re-homed to a new ring owner after membership changes.", float64(s.schemeMigrations.Load()))
 	})
+	if ts := s.traces; ts != nil {
+		reg.OnGather(func(e *metrics.Exporter) {
+			st := ts.Stats()
+			const retHelp = "Traces retained by the tail sampler, by reason."
+			e.Counter("pooled_trace_offered_total", "Finished job traces offered to the tail sampler.", float64(st.Offered))
+			e.Counter("pooled_trace_retained_total", retHelp, float64(st.RetainedError), "reason", "error")
+			e.Counter("pooled_trace_retained_total", retHelp, float64(st.RetainedSlow), "reason", "slow")
+			e.Counter("pooled_trace_retained_total", retHelp, float64(st.Sampled), "reason", "sampled")
+			e.Counter("pooled_trace_dropped_total", "Traces the sampler declined to retain.", float64(st.Dropped))
+			e.Gauge("pooled_trace_stored", "Traces resident in the bounded ring right now.", float64(st.Stored))
+			e.Gauge("pooled_trace_slow_threshold_seconds", "Current tail-latency retention threshold (0 while warming up).", time.Duration(st.SlowThresholdNS).Seconds())
+		})
+	}
+}
+
+// slowTraceLogInterval edge-limits the tail-retention warn log: a
+// wedged decoder failing every job must not turn the log into a
+// per-job firehose — the trace store has the full population.
+const slowTraceLogInterval = time.Second
+
+// attachSlowTraceLog wires the trace store's tail-retention hook to a
+// structured warn — one line per retained slow/errored job with the
+// trace id to pull the full span tree, rate-limited to one per
+// slowTraceLogInterval.
+func attachSlowTraceLog(ts *trace.Store, log *slog.Logger) {
+	if ts == nil || log == nil {
+		return
+	}
+	var mu sync.Mutex
+	var last time.Time
+	ts.OnRetain(func(tr *trace.Trace, reason string) {
+		mu.Lock()
+		now := time.Now()
+		if now.Sub(last) < slowTraceLogInterval {
+			mu.Unlock()
+			return
+		}
+		last = now
+		mu.Unlock()
+		log.Warn("job retained by tail sampler",
+			"trace_id", tr.ID, "reason", reason, "tenant", tr.Tenant,
+			"scheme", tr.Scheme, "total_ms", float64(tr.DurNS)/1e6,
+			"err", tr.Err, "stages", stageBreakdown(tr))
+	})
+}
+
+// stageBreakdown renders a trace's spans as "name=1.2ms ..." for the
+// slow-job log line — enough to see where the time went without
+// fetching the span tree.
+func stageBreakdown(tr *trace.Trace) string {
+	var b strings.Builder
+	for i, sp := range tr.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.1fms", sp.Name, float64(sp.DurNS)/1e6)
+	}
+	return b.String()
 }

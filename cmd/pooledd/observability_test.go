@@ -18,6 +18,7 @@ import (
 	"pooleddata/internal/noise"
 	"pooleddata/internal/remote"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 // logBuffer is a concurrency-safe sink for captured slog output.
@@ -142,21 +143,24 @@ func TestObservabilityFederatedE2E(t *testing.T) {
 	frontLogs := &logBuffer{}
 	freg := metrics.NewRegistry()
 	flog := slog.New(slog.NewTextHandler(frontLogs, nil))
+	// Batch coalescing stays at its default: the per-job stage accounting
+	// (serialize share, residual network, worker-reported queue/decode)
+	// must hold on the coalesced binary path too — one observation per
+	// stage per job, components consistent with the end-to-end total.
 	sh := remote.New(remote.Options{
 		Addr:          worker.Listener.Addr().String(),
 		ProbeInterval: 25 * time.Millisecond,
-		// The stage-accounting assertions below (one observation per
-		// stage per job, components ≤ total) only hold when every job
-		// rides its own request, so batch coalescing is off here; the
-		// batched transport's accounting is covered in internal/remote.
-		CoalesceWindow: -1,
-		Metrics:        freg,
-		Logger:         flog,
+		Metrics:       freg,
+		Logger:        flog,
 	})
 	t.Cleanup(sh.Close)
 	fCluster := engine.NewClusterOf(sh)
-	srv := newServer(fCluster, campaign.Config{})
+	// Tracing on with a full baseline rate, so every job's span tree is
+	// retrievable below.
+	traces := trace.NewStore(trace.Config{SampleRate: 1})
+	srv := newServer(fCluster, campaign.Config{Traces: traces})
 	t.Cleanup(srv.campaigns.Close)
+	srv.traces = traces
 	srv.instrument(freg, flog)
 	front := httptest.NewServer(srv.handler())
 	t.Cleanup(front.Close)
@@ -208,8 +212,8 @@ func TestObservabilityFederatedE2E(t *testing.T) {
 		if err := json.Unmarshal([]byte(ev.data), &jr); err != nil {
 			t.Fatalf("bad result payload %q: %v", ev.data, err)
 		}
-		if jr.TraceID != campTrace {
-			t.Fatalf("SSE result %d trace_id = %q, want %q", jr.Index, jr.TraceID, campTrace)
+		if want := fmt.Sprintf("%s-%d", campTrace, jr.Index); jr.TraceID != want {
+			t.Fatalf("SSE result %d trace_id = %q, want per-job id %q", jr.Index, jr.TraceID, want)
 		}
 	}
 	if results != batch {
@@ -283,6 +287,111 @@ func TestObservabilityFederatedE2E(t *testing.T) {
 	}
 	if components < total*0.1 {
 		t.Errorf("stage sums %.6fs unexpectedly tiny against end-to-end total %.6fs", components, total)
+	}
+
+	// Span-level tracing: the sync decode's span tree is retrievable by
+	// its ingress id and covers the whole path — ingress → shard queue →
+	// wire (serialize/network children) → worker queue/decode synthesized
+	// inside the request window on the worker tier.
+	var tr trace.Trace
+	if resp := getJSON(t, front.URL+"/v1/traces/"+decodeTrace, &tr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("get decode trace: status %d", resp.StatusCode)
+	}
+	spans := make(map[string]trace.Span, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		spans[sp.Name] = sp
+	}
+	for _, want := range []string{"decode_request", "ingress", "shard_queue", "wire", "serialize", "network", "worker_queue", "worker_decode"} {
+		if _, ok := spans[want]; !ok {
+			t.Fatalf("decode trace missing span %q, got %+v", want, tr.Spans)
+		}
+	}
+	for name, tier := range map[string]string{
+		"ingress": trace.TierFrontend, "shard_queue": trace.TierFrontend,
+		"worker_queue": trace.TierWorker, "worker_decode": trace.TierWorker,
+	} {
+		if spans[name].Tier != tier {
+			t.Errorf("span %q tier = %q, want %q", name, spans[name].Tier, tier)
+		}
+	}
+	root := spans["decode_request"]
+	for _, child := range []string{"serialize", "network", "worker_queue", "worker_decode"} {
+		if spans[child].Parent != spans["wire"].ID {
+			t.Errorf("span %q parent = %d, want wire (%d)", child, spans[child].Parent, spans["wire"].ID)
+		}
+	}
+	if spans["wire"].Parent != root.ID {
+		t.Errorf("wire span parent = %d, want root (%d)", spans["wire"].Parent, root.ID)
+	}
+	// Stage durations must be consistent with the trace's end-to-end
+	// latency: the sequential stages sum to at most the root (plus
+	// timer jitter slack), and the wire span bounds its children.
+	seq := spans["ingress"].DurNS + spans["shard_queue"].DurNS + spans["wire"].DurNS
+	if limit := tr.DurNS + tr.DurNS/10 + (10 * time.Millisecond).Nanoseconds(); seq > limit {
+		t.Errorf("sequential span sum %dns exceeds trace duration %dns", seq, tr.DurNS)
+	}
+	wireKids := spans["serialize"].DurNS + spans["network"].DurNS + spans["worker_queue"].DurNS + spans["worker_decode"].DurNS
+	if limit := spans["wire"].DurNS + spans["wire"].DurNS/10 + (10 * time.Millisecond).Nanoseconds(); wireKids > limit {
+		t.Errorf("wire children sum %dns exceeds wire span %dns", wireKids, spans["wire"].DurNS)
+	}
+
+	// A campaign job's trace carries the campaign-side spans and both
+	// tiers. Fetch with a short retry: the trace seals moments after the
+	// SSE result event that proved the job settled.
+	jobTraceID := campTrace + "-0"
+	var jobTr trace.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp := getJSON(t, front.URL+"/v1/traces/"+jobTraceID, &jobTr); resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign job trace %q never retained", jobTraceID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	jobSpans := make(map[string]bool, len(jobTr.Spans))
+	tiers := make(map[string]bool)
+	for _, sp := range jobTr.Spans {
+		jobSpans[sp.Name] = true
+		tiers[sp.Tier] = true
+	}
+	for _, want := range []string{"campaign_job", "admission", "tenant_queue", "wire", "worker_decode"} {
+		if !jobSpans[want] {
+			t.Errorf("campaign job trace missing span %q, got %+v", want, jobTr.Spans)
+		}
+	}
+	if !tiers[trace.TierFrontend] || !tiers[trace.TierWorker] {
+		t.Errorf("campaign job trace does not span both tiers: %+v", jobTr.Spans)
+	}
+	if jobTr.Tenant != campaign.DefaultTenant {
+		t.Errorf("campaign job trace tenant = %q, want %q", jobTr.Tenant, campaign.DefaultTenant)
+	}
+
+	// Hot-key accounting: the campaign's scheme shows in the /v1/stats
+	// top-K load table, owned by the worker. The rows ride the worker's
+	// /shard/v1/stats snapshot, which the remote client caches for
+	// 500ms — retry past the TTL.
+	workerAddr := worker.Listener.Addr().String()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		var stats struct {
+			SchemeLoad []schemeLoadRow `json:"scheme_load"`
+		}
+		getJSON(t, front.URL+"/v1/stats", &stats)
+		found := false
+		for _, row := range stats.SchemeLoad {
+			if row.Jobs >= uint64(batch+1) && row.Owner == workerAddr && row.DecodeNS > 0 {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheme load table never showed the campaign's scheme owned by %s: %+v", workerAddr, stats.SchemeLoad)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"pooleddata/internal/noise"
 	"pooleddata/internal/remote"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 // server is the HTTP front-end over the sharded reconstruction cluster.
@@ -57,9 +58,12 @@ type server struct {
 
 	// Observability surface, attached by instrument(). metrics may be
 	// nil (bare test servers): every instrument and the /metrics
-	// handler are nil-safe no-ops then.
+	// handler are nil-safe no-ops then. traces is the span store behind
+	// GET /v1/traces — nil when tracing is off, and every producer path
+	// is nil-safe then.
 	log           *slog.Logger
 	metrics       *metrics.Registry
+	traces        *trace.Store
 	mSSEActive    *metrics.Gauge
 	mSSEStreams   *metrics.Counter
 	mSSEEvictions *metrics.Counter
@@ -125,6 +129,8 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancelCampaign)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/traces", s.handleListTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	mux.HandleFunc("POST /v1/workers", s.handleAddWorker)
 	mux.HandleFunc("DELETE /v1/workers/{addr}", s.handleRemoveWorker)
@@ -370,6 +376,7 @@ func toResponse(res engine.Result) decodeResponse {
 // A saturated shard queue rejects with 429 + Retry-After instead of
 // blocking the request.
 func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
 	var req decodeRequest
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "text/csv") {
 		y, err := labio.ReadCounts(r.Body)
@@ -410,29 +417,45 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := s.cluster.Owner(ent.scheme)
-	trace := traceFrom(r.Context())
+	tid := traceFrom(r.Context())
 
 	switch {
 	case req.Counts != nil && req.Batch != nil:
 		httpError(w, http.StatusBadRequest, "set either counts or batch, not both")
 	case req.Counts != nil:
-		fut, err := s.cluster.TrySubmit(r.Context(), engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Noise: nm, Dec: dec, TraceID: trace})
+		job := engine.Job{Scheme: ent.scheme, Y: req.Counts, K: req.K, Noise: nm, Dec: dec, TraceID: tid}
+		var tb *trace.Builder
+		if s.traces != nil {
+			// The handler owns this job's trace: the ingress span covers
+			// body parse + scheme lookup, the engine or remote client
+			// appends the queue/decode/wire spans, and the handler seals
+			// and offers the tree once the future settles.
+			tb = trace.NewBuilder(tid, "decode_request", trace.TierFrontend)
+			tb.SetScheme(ent.scheme.RouteKey())
+			tb.Span("ingress", trace.TierFrontend, 0, reqStart, time.Since(reqStart))
+			job.Trace = tb
+		}
+		fut, err := s.cluster.TrySubmit(r.Context(), job)
 		if errors.Is(err, engine.ErrSaturated) {
+			s.offerTrace(tb, err)
 			rejectSaturated(w, shard)
 			return
 		}
 		if err != nil {
+			s.offerTrace(tb, err)
 			httpError(w, decodeStatus(err), "decode: %v", err)
 			return
 		}
 		res, err := fut.Wait(r.Context())
 		if err != nil {
-			s.log.Warn("decode failed", "trace_id", trace, "scheme", req.Scheme, "err", err)
+			s.offerTrace(tb, err)
+			s.log.Warn("decode failed", "trace_id", tid, "scheme", req.Scheme, "err", err)
 			httpError(w, decodeStatus(err), "decode: %v", err)
 			return
 		}
+		s.offerTrace(tb, nil)
 		s.log.Info("decode",
-			"trace_id", trace, "scheme", req.Scheme, "decoder", res.Decoder,
+			"trace_id", tid, "scheme", req.Scheme, "decoder", res.Decoder,
 			"k", req.K, "consistent", res.Stats.Consistent,
 			"queue_ns", int64(res.Stats.QueueWait), "decode_ns", int64(res.Stats.DecodeTime))
 		writeJSON(w, http.StatusOK, toResponse(res))
@@ -444,14 +467,14 @@ func (s *server) handleDecode(w http.ResponseWriter, r *http.Request) {
 			rejectSaturated(w, shard)
 			return
 		}
-		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Noise: nm, Dec: dec, TraceID: trace})
+		results, err := s.cluster.DecodeBatch(r.Context(), ent.scheme, req.Batch, req.K, engine.Job{Noise: nm, Dec: dec, TraceID: tid})
 		if err != nil {
-			s.log.Warn("decode batch failed", "trace_id", trace, "scheme", req.Scheme, "err", err)
+			s.log.Warn("decode batch failed", "trace_id", tid, "scheme", req.Scheme, "err", err)
 			httpError(w, decodeStatus(err), "decode batch: %v", err)
 			return
 		}
 		s.log.Info("decode batch",
-			"trace_id", trace, "scheme", req.Scheme, "jobs", len(results), "k", req.K)
+			"trace_id", tid, "scheme", req.Scheme, "jobs", len(results), "k", req.K)
 		out := make([]decodeResponse, len(results))
 		for i, res := range results {
 			out[i] = toResponse(res)
@@ -520,10 +543,10 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty batch")
 		return
 	}
-	trace := traceFrom(r.Context())
+	tid := traceFrom(r.Context())
 	cp, err := s.campaigns.Create(campaign.Request{
 		Scheme: ent.scheme, Batch: req.Batch, K: req.K,
-		Tenant: req.Tenant, Noise: nm, Dec: dec, TraceID: trace,
+		Tenant: req.Tenant, Noise: nm, Dec: dec, TraceID: tid,
 		SchemeRef: s.schemeRefFor(ent),
 	})
 	switch {
@@ -539,7 +562,7 @@ func (s *server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 	default:
 		s.log.Info("campaign created",
-			"trace_id", trace, "campaign", cp.ID(), "tenant", cp.Tenant(),
+			"trace_id", tid, "campaign", cp.ID(), "tenant", cp.Tenant(),
 			"scheme", req.Scheme, "jobs", cp.Total(), "k", req.K)
 		created := campaignCreated{ID: cp.ID(), Tenant: cp.Tenant(), Total: cp.Total(), State: string(campaign.Running)}
 		if !nm.IsExact() {
@@ -605,7 +628,12 @@ type campaignGauges struct {
 // compatibility, the per-shard breakdown, and server-level fields.
 type statsResponse struct {
 	engine.Stats
-	Shards []engine.ShardStats `json:"shards"`
+	// SchemeLoad shadows the embedded Stats field of the same json name:
+	// the same top-K hot-key rows, annotated with the ring member owning
+	// each routing key right now — the pair an operator (or a rebalancer)
+	// needs to see which worker a hot design lands on.
+	SchemeLoad []schemeLoadRow     `json:"scheme_load,omitempty"`
+	Shards     []engine.ShardStats `json:"shards"`
 	// Members is the current consistent-hash-ring membership; the adds/
 	// removes counters are lifetime runtime ring changes (joins, drains,
 	// evictions, rejoins — boot placement is not counted).
@@ -650,7 +678,109 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.AvgQueue = float64(cs.Total.TotalQueueWait.Milliseconds()) / float64(cs.Total.JobsCompleted)
 		resp.AvgDec = float64(cs.Total.TotalDecodeTime.Milliseconds()) / float64(cs.Total.JobsCompleted)
 	}
+	for _, row := range cs.Total.SchemeLoad {
+		resp.SchemeLoad = append(resp.SchemeLoad, schemeLoadRow{
+			SchemeLoad: row, Owner: s.cluster.OwnerID(row.Key),
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// schemeLoadRow is one /v1/stats hot-key row: the engine's per-scheme
+// load accounting plus the ring owner of the key.
+type schemeLoadRow struct {
+	engine.SchemeLoad
+	Owner string `json:"owner,omitempty"`
+}
+
+// offerTrace seals a handler-owned trace and offers it for tail
+// sampling; nil-safe on both the builder and the store.
+func (s *server) offerTrace(tb *trace.Builder, err error) {
+	if tb == nil || s.traces == nil {
+		return
+	}
+	if err != nil {
+		tb.SetError(err.Error())
+	}
+	s.traces.Offer(tb.Finish())
+}
+
+// handleListTraces lists recently retained traces, newest first, as
+// one-line summaries. Query parameters narrow the listing: ?tenant=,
+// ?scheme= (routing key), ?min_ms= (at least this slow), ?error=true
+// (failed jobs only), ?limit= (default 50).
+func (s *server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled; start pooledd with -trace-sample or -trace-store")
+		return
+	}
+	q := r.URL.Query()
+	f := trace.Filter{Tenant: q.Get("tenant"), Scheme: q.Get("scheme")}
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, "bad min_ms parameter %q", v)
+			return
+		}
+		f.MinDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("error"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad error parameter %q", v)
+			return
+		}
+		f.ErrorOnly = b
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit parameter %q", v)
+			return
+		}
+		limit = n
+	}
+	recent := s.traces.Recent(f, limit)
+	out := make([]traceSummary, len(recent))
+	for i, tr := range recent {
+		out[i] = traceSummary{
+			ID: tr.ID, Tenant: tr.Tenant, Scheme: tr.Scheme,
+			Start: tr.Start, DurMS: float64(tr.DurNS) / 1e6,
+			Err: tr.Err, Retained: tr.Retained, Spans: len(tr.Spans),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":  out,
+		"sampler": s.traces.Stats(),
+	})
+}
+
+// traceSummary is one GET /v1/traces row; the full span tree comes from
+// GET /v1/traces/{id}.
+type traceSummary struct {
+	ID       string    `json:"id"`
+	Tenant   string    `json:"tenant,omitempty"`
+	Scheme   string    `json:"scheme,omitempty"`
+	Start    time.Time `json:"start"`
+	DurMS    float64   `json:"duration_ms"`
+	Err      string    `json:"err,omitempty"`
+	Retained string    `json:"retained,omitempty"`
+	Spans    int       `json:"spans"`
+}
+
+// handleGetTrace returns one retained trace's full span tree.
+func (s *server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled; start pooledd with -trace-sample or -trace-store")
+		return
+	}
+	tr, ok := s.traces.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no retained trace %q (dropped by sampling, evicted, or never seen)", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 // Runtime worker membership. The endpoints exist only on a -workers

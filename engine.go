@@ -9,6 +9,7 @@ import (
 	"pooleddata/internal/noise"
 	"pooleddata/internal/remote"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 // This file is the public face of the reconstruction cluster
@@ -66,6 +67,17 @@ type EngineOptions struct {
 	// it with MetricsRegistry.Handler() (Prometheus text exposition).
 	// Nil records nothing at zero cost.
 	MetricsRegistry *metrics.Registry
+	// TraceStore enables span-level job tracing when > 0 (or when
+	// TraceSample is set): every decode and campaign job builds a span
+	// tree (queue wait, decode, wire stages on federated paths), and the
+	// tail sampler retains errored jobs, jobs slower than the rolling
+	// latency threshold, and a TraceSample fraction of the rest, in a
+	// bounded ring of this capacity (0 with tracing on: 1024). Read the
+	// retained traces back with TraceByID / RecentTraces.
+	TraceStore int
+	// TraceSample is the baseline retention rate for unremarkable job
+	// traces, in [0, 1]. Sampling is deterministic per trace id.
+	TraceSample float64
 }
 
 // EngineStats is a snapshot of an Engine's counters.
@@ -168,11 +180,16 @@ type Engine struct {
 	inner     *engine.Cluster
 	campaigns *campaign.Store
 	reg       *metrics.Registry
+	traces    *trace.Store
 }
 
 // NewEngine starts an engine cluster — local shards, or remote shard
 // clients when RemoteWorkers is set.
 func NewEngine(opts EngineOptions) *Engine {
+	var traces *trace.Store
+	if opts.TraceStore > 0 || opts.TraceSample > 0 {
+		traces = trace.NewStore(trace.Config{Capacity: opts.TraceStore, SampleRate: opts.TraceSample})
+	}
 	var inner *engine.Cluster
 	if len(opts.RemoteWorkers) > 0 {
 		shards := make([]engine.Shard, len(opts.RemoteWorkers))
@@ -187,6 +204,7 @@ func NewEngine(opts EngineOptions) *Engine {
 				CacheCapacity: opts.CacheCapacity,
 				Workers:       opts.Workers,
 				QueueDepth:    opts.QueueDepth,
+				Traces:        traces,
 			},
 		})
 	}
@@ -194,10 +212,24 @@ func NewEngine(opts EngineOptions) *Engine {
 		TenantMaxActive: opts.TenantMaxActive,
 		TenantMaxQueued: opts.TenantMaxQueued,
 		TenantWeights:   opts.TenantWeights,
+		Traces:          traces,
 	})
 	engine.RegisterClusterMetrics(opts.MetricsRegistry, inner)
 	campaign.RegisterStoreMetrics(opts.MetricsRegistry, st)
-	return &Engine{inner: inner, campaigns: st, reg: opts.MetricsRegistry}
+	return &Engine{inner: inner, campaigns: st, reg: opts.MetricsRegistry, traces: traces}
+}
+
+// TraceByID returns a retained job trace — the span tree of one decode
+// or campaign job — by its trace id. False when tracing is off, the id
+// was never retained, or the ring evicted it.
+func (e *Engine) TraceByID(id string) (*trace.Trace, bool) {
+	return e.traces.Get(id)
+}
+
+// RecentTraces lists up to limit retained traces, newest first
+// (limit <= 0 means 50). Nil when tracing is off.
+func (e *Engine) RecentTraces(limit int) []*trace.Trace {
+	return e.traces.Recent(trace.Filter{}, limit)
 }
 
 // Close stops the campaign dispatcher, drains every shard's decode

@@ -36,6 +36,7 @@ import (
 	"pooleddata/internal/engine"
 	"pooleddata/internal/noise"
 	"pooleddata/internal/wal"
+	"pooleddata/metrics/trace"
 )
 
 // DefaultTenant is the tenant campaigns without an explicit tenant are
@@ -71,6 +72,14 @@ type Config struct {
 	// and a terminal seal — what Restore replays after a crash. Nil
 	// keeps campaigns memory-only.
 	WAL *wal.WAL
+	// Traces, when non-nil, turns on span-level tracing for campaign
+	// jobs: Create opens one builder per job (id `<ingress id>-<index>`)
+	// with an admission span, the dispatcher stamps the tenant-queue
+	// wait, the engine and remote client append their own spans, and the
+	// campaign seals and offers the trace when the job settles. The
+	// store applies its own tail sampling; nil disables tracing with no
+	// per-job cost.
+	Traces *trace.Store
 }
 
 func (c Config) maxActive() int {
@@ -128,9 +137,11 @@ type JobResult struct {
 	Decoder string `json:"decoder,omitempty"`
 	// Error is set for failed or canceled jobs.
 	Error string `json:"error,omitempty"`
-	// TraceID is the campaign's ingress trace identifier, stamped on
-	// every settled job so SSE result events and campaign snapshots
-	// correlate with frontend and worker logs.
+	// TraceID identifies the job's span trace when tracing is on — the
+	// ingress trace id suffixed with the job index, retrievable via
+	// GET /v1/traces/{id} — and falls back to the campaign's ingress
+	// trace id otherwise, so SSE result events and campaign snapshots
+	// always correlate with frontend and worker logs.
 	TraceID string `json:"trace_id,omitempty"`
 }
 
@@ -257,6 +268,9 @@ func (cp *Campaign) notifyLocked() {
 // dispatcher for jobs that never enqueued.
 func (cp *Campaign) settle(idx int, res engine.Result, err error) {
 	jr := JobResult{Index: idx, TraceID: cp.trace}
+	if res.TraceID != "" {
+		jr.TraceID = res.TraceID
+	}
 	canceled := false
 	switch {
 	case err == nil:
@@ -618,6 +632,7 @@ func (st *Store) Close() {
 // MaxActive campaigns are already running, and ErrTenantQuota when the
 // tenant's own campaign or queued-job quota is exhausted.
 func (st *Store) Create(req Request) (*Campaign, error) {
+	admitStart := time.Now()
 	if req.Scheme == nil || req.Scheme.G == nil {
 		return nil, fmt.Errorf("campaign: no scheme")
 	}
@@ -723,20 +738,53 @@ func (st *Store) Create(req Request) (*Campaign, error) {
 			return
 		}
 		cp.settle(res.Tag, res, err)
+		st.finishJobTrace(jobs[res.Tag].Trace, err)
 	}
 	ts.unsettled += len(req.Batch)
+	traceBase := req.TraceID
+	if st.cfg.Traces != nil && traceBase == "" {
+		traceBase = trace.NewID()
+	}
+	queuedAt := time.Now()
 	for i, y := range req.Batch {
 		jobs[i] = engine.Job{
 			Scheme: req.Scheme, Y: y, K: req.K, Noise: req.Noise, Dec: req.Dec,
 			Tag: i, OnDone: onDone, TraceID: req.TraceID,
 		}
-		ts.push(pendingJob{cp: cp, job: jobs[i]})
+		if st.cfg.Traces != nil {
+			// One trace per job — ingress id + job index — so a single slow
+			// job in a thousand-job batch is retrievable on its own. The
+			// admission span (validation, quotas, journal) is shared by the
+			// whole batch; its offset clamps to the root's start.
+			jobs[i].TraceID = fmt.Sprintf("%s-%d", traceBase, i)
+			tb := trace.NewBuilder(jobs[i].TraceID, "campaign_job", trace.TierFrontend)
+			tb.SetTenant(tenant)
+			tb.SetScheme(req.Scheme.RouteKey())
+			tb.Span("admission", trace.TierFrontend, 0, admitStart, time.Since(admitStart))
+			jobs[i].Trace = tb
+		}
+		ts.push(pendingJob{cp: cp, job: jobs[i], queuedAt: queuedAt})
 	}
 	st.pendingTotal += len(req.Batch)
 	st.mu.Unlock()
 
 	st.signalWake()
 	return cp, nil
+}
+
+// finishJobTrace seals a campaign job's trace and offers it to the
+// configured trace store for tail sampling. The campaign layer owns
+// builders it opened in Create, so every settle site calls this once
+// per job; duplicate settles are harmless (a sealed builder returns
+// nil, and the store ignores nil traces).
+func (st *Store) finishJobTrace(tb *trace.Builder, err error) {
+	if tb == nil || st.cfg.Traces == nil {
+		return
+	}
+	if err != nil {
+		tb.SetError(err.Error())
+	}
+	st.cfg.Traces.Offer(tb.Finish())
 }
 
 // Get returns the campaign with the given id.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pooleddata/internal/engine"
+	"pooleddata/metrics/trace"
 )
 
 // Fair cross-tenant dispatch: admitted campaign jobs do not go straight
@@ -37,10 +38,14 @@ const saturationBackoff = 2 * time.Millisecond
 // survivors, where the campaign must still terminate.
 const maxRedispatches = 8
 
-// pendingJob is one admitted job awaiting dispatch.
+// pendingJob is one admitted job awaiting dispatch. queuedAt marks the
+// start of the current tenant-queue episode: stamped at admission,
+// preserved across saturation requeues (same wait, still the head), and
+// re-stamped on redispatch after a shard death (a new episode).
 type pendingJob struct {
-	cp  *Campaign
-	job engine.Job
+	cp       *Campaign
+	job      engine.Job
+	queuedAt time.Time
 }
 
 // fifo is a head-indexed job queue: pop and push-front are O(1) — a
@@ -217,7 +222,8 @@ func (st *Store) purgeCanceled(cp *Campaign) {
 	}
 	st.mu.Unlock()
 	for _, pj := range mine {
-		pj.cp.settle(pj.job.Tag, engine.Result{}, context.Canceled)
+		pj.cp.settle(pj.job.Tag, engine.Result{TraceID: pj.job.TraceID}, context.Canceled)
+		st.finishJobTrace(pj.job.Trace, context.Canceled)
 	}
 }
 
@@ -308,6 +314,7 @@ func (st *Store) maybeRedispatch(pj pendingJob, counter *atomic.Uint64) bool {
 	// orphan rejoins the fair rotation rather than jumping it. jobShard
 	// keys on the scheme's creation home; Offer re-resolves the real
 	// owner when the job's turn comes.
+	pj.queuedAt = time.Now()
 	st.tenantLocked(pj.cp.tenant).push(pj)
 	st.pendingTotal++
 	st.mu.Unlock()
@@ -339,14 +346,21 @@ func (st *Store) dispatchLoop() {
 		}
 		if err := pj.cp.ctx.Err(); err != nil {
 			// The campaign died before its job reached a shard.
-			pj.cp.settle(pj.job.Tag, engine.Result{}, err)
+			pj.cp.settle(pj.job.Tag, engine.Result{TraceID: pj.job.TraceID}, err)
+			st.finishJobTrace(pj.job.Trace, err)
 			saturatedStreak = 0
 			continue
 		}
 		_, err := st.cluster.Offer(pj.cp.ctx, pj.job)
 		switch {
 		case err == nil:
-			// Enqueued; the shared OnDone callback settles it.
+			// Enqueued; the shared OnDone callback settles it. The span is
+			// added after the fact (the builder takes it until the job
+			// settles), covering admission → the cluster accepting the job:
+			// the fair-rotation wait the dispatcher itself imposed.
+			if !pj.queuedAt.IsZero() {
+				pj.job.Trace.Span("tenant_queue", trace.TierFrontend, 0, pj.queuedAt, time.Since(pj.queuedAt))
+			}
 			st.dispatched.Add(1)
 			saturatedStreak = 0
 		case errors.Is(err, engine.ErrSaturated):
@@ -389,7 +403,8 @@ func (st *Store) dispatchLoop() {
 				return
 			}
 		default:
-			pj.cp.settle(pj.job.Tag, engine.Result{}, err)
+			pj.cp.settle(pj.job.Tag, engine.Result{TraceID: pj.job.TraceID}, err)
+			st.finishJobTrace(pj.job.Trace, err)
 			saturatedStreak = 0
 		}
 	}
@@ -409,7 +424,8 @@ func (st *Store) drainPending() {
 	st.pendingTotal = 0
 	st.mu.Unlock()
 	for _, pj := range all {
-		pj.cp.settle(pj.job.Tag, engine.Result{}, errStoreClosed)
+		pj.cp.settle(pj.job.Tag, engine.Result{TraceID: pj.job.TraceID}, errStoreClosed)
+		st.finishJobTrace(pj.job.Trace, errStoreClosed)
 	}
 }
 

@@ -104,6 +104,19 @@ func (s *Scheme) Home() int { return s.home }
 // fall back to their home index).
 func (s *Scheme) RouteKey() string { return s.key }
 
+// SetRouteKey overrides the routing key. Only valid before the scheme
+// is published to other goroutines. The worker-install path uses it:
+// the frontend already owns fleet placement and ships the canonical key
+// as the install id, so adopting that id keys the worker's routing and
+// per-scheme load accounting under the same name the frontend resolves
+// owners by — the content-hash default would diverge for parametric
+// schemes, which cross the wire as design CSVs.
+func (s *Scheme) SetRouteKey(key string) {
+	if key != "" {
+		s.key = key
+	}
+}
+
 // NewSchemeAt wraps a prebuilt graph as a scheme owned by cluster shard
 // home — the constructor alternative Shard implementations (the remote
 // shard client) use so the schemes they hand out route back to them

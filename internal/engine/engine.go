@@ -30,6 +30,7 @@ import (
 
 	"pooleddata/internal/graph"
 	"pooleddata/internal/pooling"
+	"pooleddata/metrics/trace"
 )
 
 // Config sizes an Engine.
@@ -43,6 +44,13 @@ type Config struct {
 	// BuildParallelism bounds goroutines per design build; 0 means
 	// GOMAXPROCS.
 	BuildParallelism int
+	// Traces, when set, makes the engine the trace owner for jobs that
+	// arrive without a builder (Job.Trace == nil): it opens a span tree
+	// per job, records the shard-queue and decode spans, and offers the
+	// finished trace to the store's tail sampler. Jobs that already
+	// carry a builder (the pooledd ingress and campaign paths) only get
+	// spans appended — their creator finishes them. Nil records nothing.
+	Traces *trace.Store
 }
 
 func (c Config) cacheCapacity() int {
@@ -114,6 +122,12 @@ type Stats struct {
 	JobsByNoise map[string]uint64 `json:"jobs_by_noise,omitempty"`
 	// NoiseLatency are decode-latency histograms keyed the same way.
 	NoiseLatency map[string]LatencyHistogram `json:"noise_latency,omitempty"`
+
+	// SchemeLoad is the per-scheme hot-key table, hottest first: decode
+	// load keyed by routing key, bounded to the top keys. It crosses the
+	// federation hop inside /shard/v1/stats, so a frontend's aggregate
+	// covers work its remote workers executed.
+	SchemeLoad []SchemeLoad `json:"scheme_load,omitempty"`
 }
 
 // add accumulates src into s (cluster aggregation). Histograms merge
@@ -144,6 +158,7 @@ func (s *Stats) add(src Stats) {
 		s.JobsByNoise[key] += n
 	}
 	mergeHistMap(&s.NoiseLatency, src.NoiseLatency)
+	s.SchemeLoad = mergeSchemeLoad(s.SchemeLoad, src.SchemeLoad, defaultLoadKeys)
 }
 
 // mergeHistMap accumulates src into *dst, allocating it on first use.
@@ -197,6 +212,7 @@ type Engine struct {
 	queueHist      histogramSet
 	settleHist     histogramSet
 	noiseQueueHist histogramSet
+	load           *loadTable
 
 	jobs chan *task
 	wg   sync.WaitGroup
@@ -216,6 +232,7 @@ func New(cfg Config) *Engine {
 	// limit.
 	e.noiseHist.limit = 64
 	e.noiseQueueHist.limit = 64
+	e.load = newLoadTable(defaultLoadKeys)
 	e.cache = newCache(cfg.cacheCapacity(), &e.stats)
 	for w := 0; w < cfg.workers(); w++ {
 		e.wg.Add(1)
@@ -247,6 +264,7 @@ func (e *Engine) Stats() Stats {
 	st.QueueLatency = e.queueHist.snapshot()
 	st.SettleLatency = e.settleHist.snapshot()
 	st.NoiseQueueLatency = e.noiseQueueHist.snapshot()
+	st.SchemeLoad = e.load.snapshot(time.Now())
 	if len(st.NoiseLatency) > 0 {
 		st.JobsByNoise = make(map[string]uint64, len(st.NoiseLatency))
 		for key, h := range st.NoiseLatency {

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemeLoad is one row of the per-scheme hot-key table: how much decode
+// work one design (identified by its routing key) has pulled through a
+// shard. It is the raw input for load-aware placement — an operator (or
+// the rebalancing controller) reads it off /v1/stats to see which
+// designs are hot and which worker owns them.
+type SchemeLoad struct {
+	// Key is the scheme's routing key (canonical spec key for parametric
+	// designs, content hash for ad-hoc uploads).
+	Key string `json:"key"`
+	// Jobs counts decode jobs that reached a decoder for this scheme.
+	Jobs uint64 `json:"jobs"`
+	// RatePerSec is an exponentially-decayed job rate (τ = 30s): the
+	// "hot right now" signal, as opposed to the lifetime Jobs count.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// DecodeNS is the cumulative time spent inside decoders for this
+	// scheme — the gravity signal (a scheme with few slow jobs can
+	// outweigh one with many cheap jobs).
+	DecodeNS int64 `json:"decode_ns"`
+}
+
+// loadTau is the decay constant of the EWMA job rate.
+const loadTau = 30 * time.Second
+
+// defaultLoadKeys bounds the table; schemes beyond the bound evict the
+// coldest entry (fewest jobs), so the table tracks the top-K hot keys
+// with O(K) memory no matter how many designs pass through.
+const defaultLoadKeys = 64
+
+// loadEntry is the mutable per-key accumulator.
+type loadEntry struct {
+	jobs     uint64
+	decodeNS int64
+	rate     float64 // decayed events/sec
+	last     time.Time
+}
+
+// decayTo folds elapsed time into the rate without adding an event.
+func (le *loadEntry) decayTo(now time.Time) float64 {
+	dt := now.Sub(le.last).Seconds()
+	if dt <= 0 {
+		return le.rate
+	}
+	return le.rate * math.Exp(-dt/loadTau.Seconds())
+}
+
+// loadTable is a bounded top-K accumulator of per-scheme decode load.
+// One short mutex per recorded job; the decode itself dwarfs it.
+type loadTable struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*loadEntry
+}
+
+func newLoadTable(limit int) *loadTable {
+	if limit <= 0 {
+		limit = defaultLoadKeys
+	}
+	return &loadTable{limit: limit, entries: make(map[string]*loadEntry, limit)}
+}
+
+// record accounts one decode job for key. Unknown keys enter the table,
+// evicting the fewest-jobs entry when it is full — a space-saving-style
+// policy that keeps persistent hot keys resident while one-off designs
+// churn through the cold slots.
+func (lt *loadTable) record(key string, decodeNS int64, now time.Time) {
+	if lt == nil || key == "" {
+		return
+	}
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	le := lt.entries[key]
+	if le == nil {
+		if len(lt.entries) >= lt.limit {
+			var coldKey string
+			var cold *loadEntry
+			for k, e := range lt.entries {
+				if cold == nil || e.jobs < cold.jobs {
+					coldKey, cold = k, e
+				}
+			}
+			delete(lt.entries, coldKey)
+		}
+		le = &loadEntry{last: now}
+		lt.entries[key] = le
+	}
+	le.rate = le.decayTo(now) + 1/loadTau.Seconds()
+	le.last = now
+	le.jobs++
+	le.decodeNS += decodeNS
+}
+
+// snapshot returns the table sorted hottest-first (by jobs, then
+// cumulative decode time), with rates decayed to now.
+func (lt *loadTable) snapshot(now time.Time) []SchemeLoad {
+	if lt == nil {
+		return nil
+	}
+	lt.mu.Lock()
+	out := make([]SchemeLoad, 0, len(lt.entries))
+	for key, le := range lt.entries {
+		out = append(out, SchemeLoad{
+			Key:        key,
+			Jobs:       le.jobs,
+			RatePerSec: le.decayTo(now),
+			DecodeNS:   le.decodeNS,
+		})
+	}
+	lt.mu.Unlock()
+	sortSchemeLoad(out)
+	return out
+}
+
+func sortSchemeLoad(rows []SchemeLoad) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Jobs != rows[j].Jobs {
+			return rows[i].Jobs > rows[j].Jobs
+		}
+		if rows[i].DecodeNS != rows[j].DecodeNS {
+			return rows[i].DecodeNS > rows[j].DecodeNS
+		}
+		return rows[i].Key < rows[j].Key
+	})
+}
+
+// mergeSchemeLoad folds src rows into dst (cluster aggregation across
+// shards: same key sums, rates add — each shard measured its own share
+// of the stream), keeping the result sorted and bounded.
+func mergeSchemeLoad(dst []SchemeLoad, src []SchemeLoad, limit int) []SchemeLoad {
+	if len(src) == 0 {
+		return dst
+	}
+	if limit <= 0 {
+		limit = defaultLoadKeys
+	}
+	byKey := make(map[string]int, len(dst)+len(src))
+	for i, row := range dst {
+		byKey[row.Key] = i
+	}
+	for _, row := range src {
+		if i, ok := byKey[row.Key]; ok {
+			dst[i].Jobs += row.Jobs
+			dst[i].RatePerSec += row.RatePerSec
+			dst[i].DecodeNS += row.DecodeNS
+		} else {
+			byKey[row.Key] = len(dst)
+			dst = append(dst, row)
+		}
+	}
+	sortSchemeLoad(dst)
+	if len(dst) > limit {
+		dst = dst[:limit]
+	}
+	return dst
+}

@@ -46,6 +46,15 @@ func RegisterClusterMetrics(reg *metrics.Registry, c *Cluster) {
 		exportLatencyMap(e, "pooled_engine_noise_decode_seconds", "Time inside the decoder, by canonical noise-model key.", "noise", t.NoiseLatency)
 		exportLatencyMap(e, "pooled_engine_noise_queue_wait_seconds", "Queue wait by canonical noise-model key.", "noise", t.NoiseQueueLatency)
 
+		// The per-scheme hot-key table. Keys are already bounded at the
+		// source (top-K per shard, top-K after the merge), so the label
+		// cardinality is capped no matter how many designs pass through.
+		for _, row := range t.SchemeLoad {
+			e.Counter("pooled_scheme_load_jobs_total", "Decode jobs per scheme routing key (bounded top-K table).", float64(row.Jobs), "scheme", row.Key)
+			e.Counter("pooled_scheme_load_decode_seconds_total", "Cumulative decode time per scheme routing key.", time.Duration(row.DecodeNS).Seconds(), "scheme", row.Key)
+			e.Gauge("pooled_scheme_load_rate", "Exponentially-decayed decode job rate per scheme routing key (jobs/s).", row.RatePerSec, "scheme", row.Key)
+		}
+
 		for _, sh := range cs.Shards {
 			idx := strconv.Itoa(sh.Shard)
 			e.Gauge("pooled_shard_queue_depth", "Decode jobs waiting for a worker, per shard.", float64(sh.QueueDepth), "shard", idx)

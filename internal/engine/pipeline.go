@@ -8,6 +8,7 @@ import (
 	"pooleddata/internal/bitvec"
 	"pooleddata/internal/decoder"
 	"pooleddata/internal/noise"
+	"pooleddata/metrics/trace"
 )
 
 // Job is one decode request: invert the scheme's design on the measured
@@ -48,6 +49,14 @@ type Job struct {
 	// shard client carries it over the wire, so one job's timeline is
 	// reconstructable across frontend and worker logs.
 	TraceID string
+	// Trace is the job's span builder. The pipeline appends its
+	// shard-queue and decode spans to it; the remote shard client
+	// appends the wire-stage spans. Whoever created the builder (the
+	// pooledd ingress handler, the campaign store, or — when
+	// Config.Traces is set and the job arrives bare — the engine
+	// itself) finishes it and offers it for tail sampling. Nil is fine:
+	// every span call on a nil builder is a no-op.
+	Trace *trace.Builder
 }
 
 func (j Job) dec() decoder.Decoder {
@@ -140,6 +149,9 @@ type task struct {
 	ctx      context.Context
 	fut      *Future
 	enqueued time.Time
+	// ownTrace marks a builder the engine created itself (bare job,
+	// Config.Traces set) — the engine must finish and offer it.
+	ownTrace bool
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -194,6 +206,13 @@ func (e *Engine) submit(ctx context.Context, job Job, mode submitMode) (*Future,
 	}
 	fut := &Future{done: make(chan struct{})}
 	t := &task{job: job, ctx: ctx, fut: fut, enqueued: time.Now()}
+	if e.traces() != nil && t.job.Trace == nil {
+		if t.job.TraceID == "" {
+			t.job.TraceID = trace.NewID()
+		}
+		t.job.Trace = trace.NewBuilder(t.job.TraceID, "decode_job", trace.TierFrontend)
+		t.ownTrace = true
+	}
 
 	// The read lock is held across the (possibly blocking) send so Close
 	// can never close the channel under a sender; workers drain the queue
@@ -247,25 +266,33 @@ func (e *Engine) worker() {
 // waiter never races the future's result).
 func (e *Engine) run(t *task) {
 	wait := time.Since(t.enqueued)
+	tb := t.job.Trace
+	tb.SetScheme(t.job.Scheme.RouteKey())
 	if err := t.ctx.Err(); err != nil {
 		e.stats.jobsCanceled.Add(1)
+		tb.Span("shard_queue", trace.TierFrontend, 0, t.enqueued, wait)
 		t.settle(Result{Stats: JobStats{QueueWait: wait}}, err)
+		e.finishOwnedTrace(t, err)
 		return
 	}
 	dec := t.job.dec()
 	nm := t.job.Noise.Canon()
 	e.queueHist.get(dec.Name()).observe(wait)
 	e.noiseQueueHist.get(nm.Key()).observe(wait)
+	tb.Span("shard_queue", trace.TierFrontend, 0, t.enqueued, wait)
 	start := time.Now()
 	est, err := dec.Decode(t.job.Scheme.G, t.job.Y, t.job.K)
 	elapsed := time.Since(start)
 	e.hist.get(dec.Name()).observe(elapsed)
 	e.noiseHist.get(nm.Key()).observe(elapsed)
+	e.load.record(t.job.Scheme.RouteKey(), elapsed.Nanoseconds(), time.Now())
+	tb.Span("decode", trace.TierFrontend, 0, start, elapsed)
 	if err != nil {
 		e.stats.jobsFailed.Add(1)
 		settleStart := time.Now()
 		t.settle(Result{Decoder: dec.Name(), Stats: JobStats{QueueWait: wait, DecodeTime: elapsed}}, err)
 		e.settleHist.get(dec.Name()).observe(time.Since(settleStart))
+		e.finishOwnedTrace(t, err)
 		return
 	}
 	res := Result{
@@ -288,7 +315,24 @@ func (e *Engine) run(t *task) {
 	// The settle timer covers future completion plus the OnDone callback —
 	// the stage where campaign accounting and fan-out bookkeeping run.
 	e.settleHist.get(dec.Name()).observe(time.Since(settleStart))
+	e.finishOwnedTrace(t, nil)
 }
+
+// finishOwnedTrace seals and tail-samples a builder the engine itself
+// opened in submit; builders created by a caller are the caller's to
+// finish.
+func (e *Engine) finishOwnedTrace(t *task, err error) {
+	if !t.ownTrace {
+		return
+	}
+	if err != nil {
+		t.job.Trace.SetError(err.Error())
+	}
+	e.traces().Offer(t.job.Trace.Finish())
+}
+
+// traces returns the engine's trace store (nil when tracing is off).
+func (e *Engine) traces() *trace.Store { return e.cfg.Traces }
 
 // settle completes the task's future and then fires OnDone. The job's
 // tag and trace ID are stamped on every path so OnDone handlers can

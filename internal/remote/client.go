@@ -25,6 +25,7 @@ import (
 	"pooleddata/internal/pooling"
 	"pooleddata/internal/query"
 	"pooleddata/metrics"
+	"pooleddata/metrics/trace"
 )
 
 // ErrWorkerUnavailable marks jobs that failed because their worker was
@@ -859,9 +860,9 @@ func (s *Shard) processBatch(batch []*task) {
 	}
 	buf.Write(appendBatchRequest(buf.AvailableBuffer(), jobs))
 	serialize := time.Since(serializeStart)
-	s.mStage.With(s.opts.Addr, "serialize").ObserveDuration(serialize)
 	s.mBatchJobs.Observe(float64(len(live)))
 
+	reqStart := time.Now()
 	rep, err := s.postBatch(buf.Bytes())
 	if err != nil {
 		s.fallback(live)
@@ -897,20 +898,30 @@ func (s *Shard) processBatch(batch []*task) {
 	}
 
 	s.setHealthy(true, "batched decode succeeded")
-	network := rep.roundTrip - time.Duration(rep.handleNS)
-	if rep.handleNS <= 0 || network < 0 {
-		network = rep.roundTrip
-	}
-	s.mStage.With(s.opts.Addr, "network").ObserveDuration(network)
-	s.mStage.With(s.opts.Addr, "total").ObserveDuration(serialize + rep.roundTrip)
+	// Stage accounting is per job even on the coalesced path, so every
+	// stage's observation count equals the job count no matter how jobs
+	// were packed into frames. The marshal cost is shared evenly; a
+	// job's network stage is the round trip minus its own worker time —
+	// the same "time not accounted for by the worker" the per-job JSON
+	// path computes from the handle-time header.
+	serShare := serialize / time.Duration(len(live))
 
 	for i := range rep.results {
 		r := &rep.results[i]
 		t := live[i]
 		switch r.Status {
 		case batchOK:
+			network := rep.roundTrip - time.Duration(r.QueueNS+r.DecodeNS)
+			if network < 0 {
+				network = 0
+			}
+			s.mStage.With(s.opts.Addr, "serialize").ObserveDuration(serShare)
+			s.mStage.With(s.opts.Addr, "network").ObserveDuration(network)
 			s.mStage.With(s.opts.Addr, "worker_queue").ObserveDuration(time.Duration(r.QueueNS))
 			s.mStage.With(s.opts.Addr, "worker_decode").ObserveDuration(time.Duration(r.DecodeNS))
+			s.mStage.With(s.opts.Addr, "total").ObserveDuration(serShare + rep.roundTrip)
+			t.job.Trace.Span("shard_queue", trace.TierFrontend, 0, t.enqueued, clientWait[i])
+			addWireSpans(t.job.Trace, serializeStart, serShare, reqStart, rep.roundTrip, network, r.QueueNS, r.DecodeNS)
 			t.settle(engine.Result{
 				Support: r.Support,
 				Decoder: r.Decoder,
@@ -1046,6 +1057,7 @@ func (s *Shard) process(t *task) {
 			lastErr, alive, saturated = err, false, false
 			continue
 		}
+		reqStart := time.Now()
 		rep, err := s.postDecode(t.ctx, payload)
 		if err != nil {
 			if t.ctx.Err() != nil {
@@ -1061,7 +1073,9 @@ func (s *Shard) process(t *task) {
 		out := rep.out
 		switch rep.status {
 		case http.StatusOK:
-			s.observeStages(serialize, rep, out)
+			network := s.observeStages(serialize, rep, out)
+			t.job.Trace.Span("shard_queue", trace.TierFrontend, 0, t.enqueued, clientWait)
+			addWireSpans(t.job.Trace, serializeStart, serialize, reqStart, rep.roundTrip, network, out.QueueNS, out.DecodeNS)
 			t.settle(engine.Result{
 				Support: out.Support,
 				Decoder: out.Decoder,
@@ -1119,8 +1133,9 @@ func errString(err error) string {
 // minus the worker's reported handling time), worker_queue and
 // worker_decode (from the response body), plus the whole-request total.
 // The split needs no clock sync — the handle time rides a response
-// header measured on the worker's clock alone.
-func (s *Shard) observeStages(serialize time.Duration, rep decodeReply, out decodeResponse) {
+// header measured on the worker's clock alone. It returns the network
+// stage so the caller can reuse it for the trace spans.
+func (s *Shard) observeStages(serialize time.Duration, rep decodeReply, out decodeResponse) time.Duration {
 	network := rep.roundTrip - time.Duration(rep.handleNS)
 	if rep.handleNS <= 0 || network < 0 {
 		network = rep.roundTrip
@@ -1129,6 +1144,32 @@ func (s *Shard) observeStages(serialize time.Duration, rep decodeReply, out deco
 	s.mStage.With(s.opts.Addr, "worker_queue").ObserveDuration(time.Duration(out.QueueNS))
 	s.mStage.With(s.opts.Addr, "worker_decode").ObserveDuration(time.Duration(out.DecodeNS))
 	s.mStage.With(s.opts.Addr, "total").ObserveDuration(serialize + rep.roundTrip)
+	return network
+}
+
+// addWireSpans appends one job's wire-stage span subtree to its trace:
+// a "wire" parent covering marshal + round trip, with serialize and
+// network children measured on this side of the hop, and worker_queue /
+// worker_decode children synthesized from the durations the worker
+// reported back (QueueNS/DecodeNS on the wire, the Pooled-Handle-Ns
+// accounting family). The worker spans are laid at the tail of the
+// request window, so the tree nests sensibly without any cross-machine
+// clock sync. Nil-safe via the builder.
+func addWireSpans(tb *trace.Builder, serializeStart time.Time, serialize time.Duration, reqStart time.Time, roundTrip, network time.Duration, queueNS, decodeNS int64) {
+	if tb == nil {
+		return
+	}
+	wireDur := reqStart.Add(roundTrip).Sub(serializeStart)
+	wire := tb.Span("wire", trace.TierFrontend, 0, serializeStart, wireDur)
+	tb.Span("serialize", trace.TierFrontend, wire, serializeStart, serialize)
+	tb.Span("network", trace.TierFrontend, wire, reqStart, network)
+	workerDur := time.Duration(queueNS + decodeNS)
+	workerStart := reqStart.Add(roundTrip - workerDur)
+	if workerStart.Before(reqStart) {
+		workerStart = reqStart
+	}
+	tb.Span("worker_queue", trace.TierWorker, wire, workerStart, time.Duration(queueNS))
+	tb.Span("worker_decode", trace.TierWorker, wire, workerStart.Add(time.Duration(queueNS)), time.Duration(decodeNS))
 }
 
 func (s *Shard) sleepBackoff(ctx context.Context, attempt int) bool {

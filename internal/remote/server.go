@@ -142,6 +142,11 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	es := s.cluster.SchemeFromGraph(g)
+	// Route and account under the install id — the canonical key the
+	// frontend placed this scheme by (spec key, or the same content hash
+	// for ad-hoc uploads) — so the fleet-merged load table's keys match
+	// the ring the frontend resolves owners on.
+	es.SetRouteKey(id)
 	s.mu.Lock()
 	if _, ok := s.schemes[id]; !ok {
 		s.order = append(s.order, id)
